@@ -1,0 +1,21 @@
+"""Ablation benchmarks for design choices DESIGN.md calls out.
+
+* A-1 — footnote 5: set-oriented assembly's only CPU overhead is the
+  scheduling structure; every scheduler costs O(1) operations per
+  fetch, so comparing I/O alone is fair.
+* A-2 — Section 7 future work: restricting the buffer forces re-reads;
+  window size and buffer size need joint tuning.
+"""
+
+from repro.bench.figures import (
+    ablation_buffer_capacity,
+    ablation_scheduler_overhead,
+)
+
+
+def test_scheduler_overhead(figure_runner):
+    figure_runner(ablation_scheduler_overhead)
+
+
+def test_restricted_buffer(figure_runner):
+    figure_runner(ablation_buffer_capacity)

@@ -1,0 +1,14 @@
+"""Related-work baseline (paper Section 2): the TID-scan spectrum.
+
+Assembly with a single-component template is a windowed pointer
+look-up: window 1 behaves like the naive unclustered index scan, and
+growing windows approach the fully-sorted look-up's seek cost while
+bounding "sort space" to W pointers — the design point the paper's
+Section 2 describes as the operator's origin.
+"""
+
+from repro.bench.baselines import baseline_tid_scan
+
+
+def test_tid_scan_spectrum(figure_runner):
+    figure_runner(baseline_tid_scan)

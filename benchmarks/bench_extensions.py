@@ -1,0 +1,48 @@
+"""Benchmarks for the paper's Section 7 future-work extensions.
+
+* A-4 — the integrated ("adaptive") scheduler: the elevator modified to
+  account for predicates, sharing, and the buffer, vs the plain
+  elevator on selective-assembly workloads.
+* A-5 — the exclusive-device problem: K independent per-operator
+  request queues degrade seek distance as K grows; the
+  server-per-device architecture restores single-queue performance.
+* A-6 — window/buffer tuning: for a fixed buffer, the best window is
+  the largest one whose pin bound (Section 6.3.3) fits.
+* A-7 — multi-device striping: per-device elevator queues (the
+  server-per-device architecture) shrink the critical-path seek total
+  as devices are added — the paper's closing "scalable performance"
+  expectation.
+"""
+
+from repro.bench.figures import (
+    ablation_adaptive_scheduler,
+    ablation_cost_model,
+    ablation_hypermodel_generality,
+    ablation_multi_device,
+    ablation_parallel_contention,
+    ablation_window_tuning,
+)
+
+
+def test_adaptive_scheduler(figure_runner):
+    figure_runner(ablation_adaptive_scheduler)
+
+
+def test_parallel_contention(figure_runner):
+    figure_runner(ablation_parallel_contention)
+
+
+def test_window_tuning(figure_runner):
+    figure_runner(ablation_window_tuning)
+
+
+def test_multi_device_scaling(figure_runner):
+    figure_runner(ablation_multi_device)
+
+
+def test_hypermodel_generality(figure_runner):
+    figure_runner(ablation_hypermodel_generality)
+
+
+def test_cost_model_robustness(figure_runner):
+    figure_runner(ablation_cost_model)

@@ -1,0 +1,18 @@
+"""Figure 11 (A–C): scheduling algorithm vs database size, window = 1.
+
+Paper claims reproduced here:
+
+* 11A (inter-object): seek distance flat in database size (cluster
+  extents exceed every database); breadth-first clearly worst because
+  its fetch order fights the physical cluster order (Figure 12).
+* 11B (intra-object): the three schedulers nearly coincide — per-tree
+  locality dominates at window 1.
+* 11C (unclustered): the elevator gains ~10% purely by reordering the
+  few in-flight references by physical location.
+"""
+
+from repro.bench.figures import figure_11
+
+
+def test_figure_11(figure_runner):
+    figure_runner(figure_11)

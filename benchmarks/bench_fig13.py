@@ -1,0 +1,18 @@
+"""Figure 13 (A–C): scheduling algorithm vs database size, window = 50.
+
+Paper claim: "Regardless of how the data is clustered, average seek
+distance is smallest for elevator scheduling" — with a window of 50 the
+reference pool is deep enough for SCAN ordering to approach the ideal
+schedule, while depth-first stays at its window-1 cost by construction.
+"""
+
+from repro.bench.figures import depth_first_window_invariance, figure_13
+
+
+def test_figure_13(figure_runner):
+    figure_runner(figure_13)
+
+
+def test_depth_first_is_window_invariant(figure_runner):
+    """Section 6.2: depth-first == object-at-a-time at any window."""
+    figure_runner(depth_first_window_invariance)

@@ -1,0 +1,20 @@
+"""Figure 14: window-size sweep at database = 4000, elevator scheduling.
+
+Paper claims: seek distance falls monotonically with window size, and
+"the point of diminishing returns occurs prior to a window of 50" —
+the 1 → 50 step captures the bulk of the win under every clustering.
+
+The companion buffer benchmark checks Section 6.3.3's price of windows:
+at most 6·(W−1) + 7 pages pinned for partially assembled objects
+(301 pages at W = 50 in the paper's arithmetic).
+"""
+
+from repro.bench.figures import buffer_pin_bound, figure_14
+
+
+def test_figure_14(figure_runner):
+    figure_runner(figure_14)
+
+
+def test_buffer_pin_bound(figure_runner):
+    figure_runner(buffer_pin_bound)

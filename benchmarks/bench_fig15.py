@@ -1,0 +1,20 @@
+"""Figure 15: databases containing shared sub-objects (25% sharing).
+
+Paper claims: with sharing statistics in the template, elevator
+scheduling (windows 1 and 50) beats depth-first object-at-a-time
+assembly on a 25%-shared database, and "not only does the use of
+expected sharing statistics increase performance, it also reduces the
+total number of reads" — checked against a statistics-off run under
+the same restricted buffer.
+"""
+
+from repro.bench.figures import ablation_sharing_degree, figure_15
+
+
+def test_figure_15(figure_runner):
+    figure_runner(figure_15)
+
+
+def test_sharing_degree_sweep(figure_runner):
+    """Section 6.4: 25% is 'typical of the other benchmarks'."""
+    figure_runner(ablation_sharing_degree)

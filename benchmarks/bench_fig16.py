@@ -1,0 +1,15 @@
+"""Figure 16: predicates and selectivities (selective assembly).
+
+Paper claims: assembly aborts failing complex objects as early as
+possible — "object fetches other than those needed to test the
+predicate or completely assemble complex objects satisfying the
+predicate are eliminated" (each rejected object costs exactly the
+predicate path, two fetches in this template), so lower selectivity
+means fewer reads for windows greater than 1.
+"""
+
+from repro.bench.figures import figure_16
+
+
+def test_figure_16(figure_runner):
+    figure_runner(figure_16)

@@ -1,0 +1,39 @@
+"""Shared configuration for the figure benchmarks.
+
+Each benchmark regenerates one paper figure at the paper's full
+parameters, prints the series (so the output can be compared with the
+paper), asserts the qualitative shape checks, and reports its wall
+time through pytest-benchmark.  One round per figure: the simulated
+disk is deterministic, so repetition adds time, not information.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import FigureResult, render
+
+
+def run_figure(benchmark, driver, *args, **kwargs):
+    """Benchmark a figure driver once, print it, and assert its shape."""
+    produced = benchmark.pedantic(
+        lambda: driver(*args, **kwargs), rounds=1, iterations=1
+    )
+    figures = produced if isinstance(produced, list) else [produced]
+    for figure in figures:
+        print()
+        print(render(figure))
+        assert not figure.violations, (
+            f"{figure.figure_id}: shape checks failed: {figure.violations}"
+        )
+    return figures
+
+
+@pytest.fixture
+def figure_runner(benchmark):
+    """Fixture handing tests the :func:`run_figure` helper."""
+
+    def runner(driver, *args, **kwargs):
+        return run_figure(benchmark, driver, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Stacked assembly: combining bottom-up and top-down assembly (Fig. 17).
+
+Reproduces the paper's Section 7 construction: Assembly1 assembles all
+B (and their D) sub-objects bottom-up; Assembly2 fetches the A and C
+objects top-down and links them with the already-assembled sub-objects.
+
+Run:  python examples/stacked_assembly.py
+"""
+
+from repro import (
+    GraphBuilder,
+    ListSource,
+    ObjectStore,
+    SimulatedDisk,
+    StackedAssembly,
+    Template,
+    TemplateNode,
+    layout_database,
+)
+from repro.cluster import InterObjectClustering
+
+N = 500
+
+
+def build_database():
+    """The paper's Figure 4 objects: A → {B → D, C}."""
+    builder = GraphBuilder()
+    builder.define_type("A", int_fields=("id",), ref_fields=("b", "c"))
+    builder.define_type("B", int_fields=("id",), ref_fields=("d",))
+    builder.define_type("C", int_fields=("id",))
+    builder.define_type("D", int_fields=("id",))
+    for index in range(N):
+        d = builder.new_object("D", ints={"id": index})
+        b = builder.new_object("B", ints={"id": index}, refs={"d": d.oid})
+        c = builder.new_object("C", ints={"id": index})
+        a = builder.new_object("A", ints={"id": index}, refs={"b": b.oid, "c": c.oid})
+        builder.complex_object(a, [b, c, d])
+    builder.validate()
+    return builder
+
+
+def full_template() -> Template:
+    a = TemplateNode("A", type_name="A")
+    a.child(0, "B", type_name="B").child(0, "D", type_name="D")
+    a.child(1, "C", type_name="C")
+    return Template(a).finalize()
+
+
+def subobject_template() -> Template:
+    b = TemplateNode("B", type_name="B")
+    b.child(0, "D", type_name="D")
+    return Template(b).finalize()
+
+
+def main() -> None:
+    builder = build_database()
+    store = ObjectStore(SimulatedDisk())
+    layout = layout_database(
+        builder.complex_objects,
+        store,
+        InterObjectClustering(cluster_pages=128),
+        shared=builder.shared_objects,
+    )
+
+    # Assembly1's input: every B root (here taken from the A records'
+    # reference fields; a real plan would scan the B extent).
+    b_roots = [
+        cobj.objects[cobj.root].refs["b"] for cobj in builder.complex_objects
+    ]
+
+    stacked = StackedAssembly(
+        lower_source=ListSource(b_roots),
+        lower_template=subobject_template(),
+        upper_source=ListSource(layout.root_order),
+        upper_template=full_template(),
+        store=store,
+        window_size=50,
+        scheduler="elevator",
+    )
+
+    complete = stacked.execute()
+    print(f"Stacked assembly over {N} complex objects (Figure 17):")
+    print()
+    print(f"  Assembly1 (bottom-up, B→D): {stacked.lower.stats.fetches} fetches")
+    print(f"  Assembly2 (top-down, A, C): {stacked.upper.stats.fetches} fetches")
+    print(f"  complete complex objects:   {len(complete)}")
+    print()
+
+    sample = complete[0]
+    sample.verify_swizzled()
+    print("  sample object graph (A → B → D, A → C):")
+    a = sample.root
+    print(f"    A id={a.ints[0]}")
+    print(f"      B id={a.follow(0).ints[0]} (linked, pre-assembled)")
+    print(f"        D id={a.follow(0, 0).ints[0]}")
+    print(f"      C id={a.follow(1).ints[0]} (fetched top-down)")
+
+    total = stacked.lower.stats.fetches + stacked.upper.stats.fetches
+    assert total == 4 * N, "each object fetched exactly once across stages"
+    print()
+    print(f"  every storage object fetched exactly once: {total} == 4 * {N}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs.
+
+The metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on environments whose setuptools lacks the
+``wheel`` package needed for PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

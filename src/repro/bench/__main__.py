@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro.bench [figure ...]``.
+
+Without arguments, every figure and ablation runs (a few minutes at the
+paper's full parameters).  Name figures to run a subset, e.g.::
+
+    python -m repro.bench fig11 fig14
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.report import FigureResult, render
+
+
+def main(argv: List[str] = None) -> int:
+    """Parse arguments, run the requested figures, export if asked."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the figures of 'Efficient Assembly of "
+        "Complex Objects' (SIGMOD 1991).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help=f"figures to run (default: all). Known: {', '.join(ALL_FIGURES)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known figures and exit"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write one CSV per figure into DIR",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write all figures (series, notes, checks) to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_FIGURES:
+            print(name)
+        return 0
+
+    names = args.figures or list(ALL_FIGURES)
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {', '.join(unknown)}")
+
+    failures = 0
+    collected: List[FigureResult] = []
+    for name in names:
+        start = time.time()
+        produced = ALL_FIGURES[name]()
+        elapsed = time.time() - start
+        figures = produced if isinstance(produced, list) else [produced]
+        for figure in figures:
+            print(render(figure))
+            print()
+            failures += len(figure.violations)
+        collected.extend(figures)
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    if args.csv:
+        from repro.bench.export import write_csv
+
+        paths = write_csv(collected, args.csv)
+        print(f"wrote {len(paths)} CSV file(s) to {args.csv}")
+    if args.json:
+        from repro.bench.export import write_json
+
+        print(f"wrote {write_json(collected, args.json)}")
+    if failures:
+        print(f"{failures} shape check(s) FAILED")
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""Experiment harness: one assembly run, fully parameterized.
+
+Every figure of Section 6 is a sweep over the same five benchmark
+parameters the paper names: "clustering, scheduling algorithm, window
+size, buffer size and database size" — plus sharing degree (Section
+6.4) and predicate selectivity (Section 6.5).  :func:`run_experiment`
+executes one parameter point and returns every metric the figures (and
+tests) need; :func:`sweep` maps it over a parameter grid.
+
+Database generation is cached per parameter set: object *definitions*
+are immutable inputs, and each run lays them out on a fresh simulated
+disk so no state leaks between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.layout import LayoutResult, layout_database
+from repro.cluster.policies import (
+    ClusteringPolicy,
+    InterObjectClustering,
+    IntraObjectClustering,
+    Unclustered,
+)
+from repro.core.assembly import Assembly
+from repro.errors import ReproError
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+from repro.storage.store import ObjectStore
+from repro.volcano.iterator import ListSource
+from repro.workloads.acob import (
+    ACOBDatabase,
+    generate_acob,
+    make_template,
+    payload_predicate,
+)
+
+#: Clustering names accepted by :class:`ExperimentConfig`.
+CLUSTERINGS = ("inter-object", "intra-object", "unclustered")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One point in the Section 6 parameter space."""
+
+    n_complex_objects: int = 1000
+    clustering: str = "inter-object"
+    scheduler: str = "elevator"
+    window_size: int = 1
+    buffer_capacity: Optional[int] = None
+    sharing: float = 0.0
+    #: predicate pass rate; ``None`` disables selective assembly.
+    selectivity: Optional[float] = None
+    #: tree position carrying the predicate (level-1 node by default,
+    #: so failing objects abort after two fetches).
+    predicate_position: int = 1
+    use_sharing_statistics: bool = True
+    cluster_pages: int = 512
+    seed: int = 7
+    layout_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clustering not in CLUSTERINGS:
+            raise ReproError(
+                f"clustering must be one of {CLUSTERINGS}, "
+                f"got {self.clustering!r}"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """Metrics of one run; ``avg_seek`` is the paper's y-axis."""
+
+    config: ExperimentConfig
+    avg_seek: float
+    reads: int
+    emitted: int
+    aborted: int
+    fetches: int
+    shared_links: int
+    buffer_hits: int
+    buffer_faults: int
+    re_reads: int
+    peak_pinned_pages: int
+    scheduler_ops: int
+    pages_spanned: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "db": self.config.n_complex_objects,
+            "clustering": self.config.clustering,
+            "scheduler": self.config.scheduler,
+            "window": self.config.window_size,
+            "avg_seek": round(self.avg_seek, 1),
+            "reads": self.reads,
+            "emitted": self.emitted,
+            "aborted": self.aborted,
+            "fetches": self.fetches,
+            "shared_links": self.shared_links,
+            "re_reads": self.re_reads,
+            "peak_pinned": self.peak_pinned_pages,
+        }
+
+
+_DB_CACHE: Dict[Tuple[int, float, int], ACOBDatabase] = {}
+
+
+def get_database(
+    n_complex_objects: int, sharing: float = 0.0, seed: int = 7
+) -> ACOBDatabase:
+    """Cached benchmark database (generation is deterministic)."""
+    key = (n_complex_objects, sharing, seed)
+    if key not in _DB_CACHE:
+        _DB_CACHE[key] = generate_acob(
+            n_complex_objects, sharing=sharing, seed=seed
+        )
+    return _DB_CACHE[key]
+
+
+def clear_database_cache() -> None:
+    """Drop cached databases (tests use this to bound memory)."""
+    _DB_CACHE.clear()
+
+
+def make_policy(config: ExperimentConfig, database: ACOBDatabase) -> ClusteringPolicy:
+    """Instantiate the clustering policy a config names.
+
+    Inter-object clustering gets the depth-first-friendly cluster disk
+    order — the Figure 12 layout whose mismatch with breadth-first
+    fetch order produces the Figure 11A artifact.
+    """
+    if config.clustering == "inter-object":
+        return InterObjectClustering(
+            cluster_pages=config.cluster_pages,
+            disk_order=database.type_ids_depth_first(),
+        )
+    if config.clustering == "intra-object":
+        return IntraObjectClustering()
+    return Unclustered()
+
+
+def build_layout(config: ExperimentConfig) -> Tuple[ACOBDatabase, LayoutResult]:
+    """Generate (cached) and lay out (fresh) the configured database."""
+    database = get_database(
+        config.n_complex_objects, sharing=config.sharing, seed=config.seed
+    )
+    disk = SimulatedDisk()
+    buffer = BufferManager(disk, capacity=config.buffer_capacity)
+    store = ObjectStore(disk, buffer)
+    layout = layout_database(
+        database.complex_objects,
+        store,
+        make_policy(config, database),
+        shared=database.shared_pool,
+        seed=config.layout_seed,
+        validate=False,  # generators validate once; layouts are hot paths
+    )
+    return database, layout
+
+
+def build_assembly(
+    config: ExperimentConfig, database: ACOBDatabase, layout: LayoutResult
+) -> Assembly:
+    """Construct the assembly operator for one run."""
+    predicate = None
+    predicate_position = None
+    if config.selectivity is not None:
+        predicate = payload_predicate(config.selectivity)
+        predicate_position = config.predicate_position
+    template = make_template(
+        database,
+        sharing=config.sharing,
+        predicate_position=predicate_position,
+        predicate=predicate,
+    )
+    return Assembly(
+        ListSource(layout.root_order),
+        layout.store,
+        template,
+        window_size=config.window_size,
+        scheduler=config.scheduler,
+        use_sharing_statistics=config.use_sharing_statistics,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Execute one parameter point and collect all metrics."""
+    database, layout = build_layout(config)
+    operator = build_assembly(config, database, layout)
+    emitted = sum(1 for _ in operator.rows())
+    store = layout.store
+    disk_stats = store.disk.stats
+    buffer_stats = store.buffer.stats
+    return ExperimentResult(
+        config=config,
+        avg_seek=disk_stats.avg_seek_per_read,
+        reads=disk_stats.reads,
+        emitted=emitted,
+        aborted=operator.stats.aborted,
+        fetches=operator.stats.fetches,
+        shared_links=operator.stats.shared_links,
+        buffer_hits=buffer_stats.hits,
+        buffer_faults=buffer_stats.faults,
+        re_reads=buffer_stats.re_reads,
+        peak_pinned_pages=operator.stats.peak_pinned_pages,
+        scheduler_ops=operator.stats.scheduler_ops,
+        pages_spanned=layout.pages_spanned(),
+    )
+
+
+def sweep(
+    base: ExperimentConfig, **axes: Iterable
+) -> List[ExperimentResult]:
+    """Run the cartesian product of ``axes`` over ``base``.
+
+    Example::
+
+        sweep(base, scheduler=["depth-first", "elevator"],
+                    n_complex_objects=[1000, 2000])
+    """
+    results: List[ExperimentResult] = []
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+
+    def recurse(index: int, config: ExperimentConfig) -> None:
+        if index == len(names):
+            results.append(run_experiment(config))
+            return
+        for value in values[index]:
+            recurse(index + 1, replace(config, **{names[index]: value}))
+
+    recurse(0, base)
+    return results

@@ -1,0 +1,118 @@
+"""Regression comparison between benchmark runs.
+
+``python -m repro.bench --json baseline.json`` archives a run; this
+module compares a later run against it, flagging:
+
+* figures or series that appeared/disappeared,
+* data points whose y value drifted beyond a relative tolerance,
+* shape checks that regressed from passing to failing.
+
+The simulated disk is deterministic, so on an unchanged tree the diff
+is empty; any drift localizes the change to a figure and series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.bench.export import load_json
+
+
+@dataclass
+class RegressionReport:
+    """Differences between a baseline and a current run."""
+
+    missing_figures: List[str] = field(default_factory=list)
+    new_figures: List[str] = field(default_factory=list)
+    missing_series: List[str] = field(default_factory=list)
+    drifted_points: List[str] = field(default_factory=list)
+    regressed_checks: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No differences at all?"""
+        return not (
+            self.missing_figures
+            or self.new_figures
+            or self.missing_series
+            or self.drifted_points
+            or self.regressed_checks
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        if self.clean:
+            return "no regressions: runs are equivalent"
+        lines: List[str] = []
+        for label, items in (
+            ("figures missing from current run", self.missing_figures),
+            ("figures new in current run", self.new_figures),
+            ("series missing from current run", self.missing_series),
+            ("points drifted beyond tolerance", self.drifted_points),
+            ("shape checks regressed", self.regressed_checks),
+        ):
+            if items:
+                lines.append(f"{label}:")
+                lines.extend(f"  {item}" for item in items)
+        return "\n".join(lines)
+
+
+def _index_figures(document: dict) -> Dict[str, dict]:
+    return {
+        figure["figure_id"]: figure for figure in document["figures"]
+    }
+
+
+def compare_documents(
+    baseline: dict, current: dict, tolerance: float = 0.05
+) -> RegressionReport:
+    """Diff two result documents (as loaded by ``export.load_json``)."""
+    report = RegressionReport()
+    old = _index_figures(baseline)
+    new = _index_figures(current)
+
+    report.missing_figures = sorted(set(old) - set(new))
+    report.new_figures = sorted(set(new) - set(old))
+
+    for figure_id in sorted(set(old) & set(new)):
+        old_fig, new_fig = old[figure_id], new[figure_id]
+        old_series = old_fig["series"]
+        new_series = new_fig["series"]
+        for name in old_series:
+            if name not in new_series:
+                report.missing_series.append(f"{figure_id} / {name}")
+                continue
+            new_points = {x: y for x, y in new_series[name]}
+            for x, old_y in old_series[name]:
+                if x not in new_points:
+                    report.drifted_points.append(
+                        f"{figure_id} / {name} @ x={x}: point removed"
+                    )
+                    continue
+                new_y = new_points[x]
+                scale = max(abs(old_y), 1e-9)
+                if abs(new_y - old_y) / scale > tolerance:
+                    report.drifted_points.append(
+                        f"{figure_id} / {name} @ x={x}: "
+                        f"{old_y} -> {new_y}"
+                    )
+        old_violations = set(old_fig.get("violations", []))
+        for violation in new_fig.get("violations", []):
+            if violation not in old_violations:
+                report.regressed_checks.append(
+                    f"{figure_id}: {violation}"
+                )
+    return report
+
+
+def compare_files(
+    baseline_path: Union[str, Path],
+    current_path: Union[str, Path],
+    tolerance: float = 0.05,
+) -> RegressionReport:
+    """Diff two JSON exports on disk."""
+    return compare_documents(
+        load_json(baseline_path), load_json(current_path), tolerance
+    )

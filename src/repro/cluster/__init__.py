@@ -1,0 +1,34 @@
+"""Clustering policies and the layout engine (paper Section 6.1)."""
+
+from repro.cluster.analysis import (
+    ExtentFill,
+    LayoutProfile,
+    describe_profile,
+    profile_layout,
+)
+from repro.cluster.layout import LayoutResult, layout_database
+from repro.cluster.policies import (
+    DEFAULT_CLUSTER_PAGES,
+    POLICIES,
+    ClusteringPolicy,
+    InterObjectClustering,
+    IntraObjectClustering,
+    Placement,
+    Unclustered,
+)
+
+__all__ = [
+    "DEFAULT_CLUSTER_PAGES",
+    "POLICIES",
+    "ClusteringPolicy",
+    "ExtentFill",
+    "InterObjectClustering",
+    "LayoutProfile",
+    "describe_profile",
+    "profile_layout",
+    "IntraObjectClustering",
+    "LayoutResult",
+    "Placement",
+    "Unclustered",
+    "layout_database",
+]

@@ -1,0 +1,139 @@
+"""Layout diagnostics: measuring what a clustering policy produced.
+
+Figures 8–12 of the paper are claims about physical layout; this module
+turns those claims into numbers a test or a report can check:
+
+* per-extent **fill** (objects stored / capacity) — Figure 12's point
+  that inter-object clusters are sparse ("the shaded regions contain
+  data and the unshaded area is unused");
+* per-complex-object **span** (pages between its first and last
+  component) — intra-object clustering's tightness, unclustered's
+  scatter;
+* **reference locality** — the average on-disk distance an
+  inter-object reference crosses, the quantity scheduling ultimately
+  fights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cluster.layout import LayoutResult
+from repro.objects.model import ComplexObjectDef
+from repro.storage.oid import Oid
+
+
+@dataclass(frozen=True)
+class ExtentFill:
+    """Occupancy of one named extent."""
+
+    name: str
+    pages: int
+    capacity_objects: int
+    stored_objects: int
+
+    @property
+    def fill_factor(self) -> float:
+        """Stored / capacity (0.0 for an empty extent)."""
+        if self.capacity_objects == 0:
+            return 0.0
+        return self.stored_objects / self.capacity_objects
+
+
+@dataclass(frozen=True)
+class LayoutProfile:
+    """Aggregate physical measurements of one layout."""
+
+    extents: Sequence[ExtentFill]
+    #: per-complex-object page span (max page - min page).
+    spans: Sequence[int]
+    #: on-disk page distance of every intra-complex-object reference.
+    reference_distances: Sequence[int]
+
+    @property
+    def mean_span(self) -> float:
+        """Average complex-object span in pages."""
+        if not self.spans:
+            return 0.0
+        return sum(self.spans) / len(self.spans)
+
+    @property
+    def mean_reference_distance(self) -> float:
+        """Average pages a parent→child reference crosses."""
+        if not self.reference_distances:
+            return 0.0
+        return sum(self.reference_distances) / len(self.reference_distances)
+
+    @property
+    def overall_fill(self) -> float:
+        """Stored objects / total capacity across all extents."""
+        capacity = sum(e.capacity_objects for e in self.extents)
+        stored = sum(e.stored_objects for e in self.extents)
+        if capacity == 0:
+            return 0.0
+        return stored / capacity
+
+
+def profile_layout(
+    layout: LayoutResult,
+    database: Sequence[ComplexObjectDef],
+) -> LayoutProfile:
+    """Measure a layout against the database it placed."""
+    store = layout.store
+    per_page = store.objects_per_page()
+
+    page_of: Dict[Oid, int] = {}
+    extent_counts: Dict[str, int] = {name: 0 for name in layout.extents}
+    for cobj in database:
+        for oid in cobj.objects:
+            page = store.page_of(oid)
+            page_of[oid] = page
+            for name, extent in layout.extents.items():
+                if page in extent:
+                    extent_counts[name] += 1
+                    break
+
+    extents = [
+        ExtentFill(
+            name=name,
+            pages=extent.length,
+            capacity_objects=extent.length * per_page,
+            stored_objects=extent_counts[name],
+        )
+        for name, extent in layout.extents.items()
+    ]
+
+    spans: List[int] = []
+    distances: List[int] = []
+    for cobj in database:
+        pages = [page_of[oid] for oid in cobj.objects]
+        spans.append(max(pages) - min(pages))
+        for obj in cobj.objects.values():
+            for target in obj.referenced_oids():
+                if target in cobj.objects:
+                    distances.append(
+                        abs(page_of[target] - page_of[obj.oid])
+                    )
+
+    return LayoutProfile(
+        extents=extents, spans=spans, reference_distances=distances
+    )
+
+
+def describe_profile(profile: LayoutProfile) -> str:
+    """Render a profile as a small report."""
+    lines = [
+        f"extents: {len(profile.extents)}, "
+        f"overall fill {profile.overall_fill:.1%}",
+        f"mean complex-object span: {profile.mean_span:.1f} pages",
+        f"mean reference distance: "
+        f"{profile.mean_reference_distance:.1f} pages",
+    ]
+    for extent in profile.extents:
+        lines.append(
+            f"  {extent.name}: {extent.stored_objects}/"
+            f"{extent.capacity_objects} objects over {extent.pages} pages "
+            f"({extent.fill_factor:.1%})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The paper's contribution: the assembly operator and its companions."""
+
+from repro.core.adaptive import AdaptiveElevatorScheduler
+from repro.core.assembled import AssembledComplexObject, AssembledObject
+from repro.core.assembly import Assembly, AssemblyStats
+from repro.core.parallel import DeviceServerAssembly, InterleavedAssemblies
+from repro.core.tuning import (
+    TuningResult,
+    max_window_for_buffer,
+    pin_bound,
+    tune_window,
+)
+from repro.core.component_iterator import ChildReference, ComponentIterator
+from repro.core.predicates import (
+    Predicate,
+    always_false,
+    always_true,
+    int_field_predicate,
+    int_less_than,
+)
+from repro.core.schedulers import (
+    SCHEDULERS,
+    BreadthFirstScheduler,
+    CScanScheduler,
+    DepthFirstScheduler,
+    ElevatorScheduler,
+    ReferenceScheduler,
+    UnresolvedReference,
+    make_scheduler,
+)
+from repro.core.stacking import StackedAssembly
+from repro.core.template import Template, TemplateNode, binary_tree_template
+from repro.core.trace import AssemblyTracer, TraceEvent
+from repro.core.window import ComplexObjectState, Window
+
+__all__ = [
+    "AdaptiveElevatorScheduler",
+    "AssembledComplexObject",
+    "AssembledObject",
+    "Assembly",
+    "AssemblyStats",
+    "AssemblyTracer",
+    "BreadthFirstScheduler",
+    "CScanScheduler",
+    "DeviceServerAssembly",
+    "TraceEvent",
+    "InterleavedAssemblies",
+    "TuningResult",
+    "max_window_for_buffer",
+    "pin_bound",
+    "tune_window",
+    "ChildReference",
+    "ComplexObjectState",
+    "ComponentIterator",
+    "DepthFirstScheduler",
+    "ElevatorScheduler",
+    "Predicate",
+    "ReferenceScheduler",
+    "SCHEDULERS",
+    "StackedAssembly",
+    "Template",
+    "TemplateNode",
+    "UnresolvedReference",
+    "Window",
+    "always_false",
+    "always_true",
+    "binary_tree_template",
+    "int_field_predicate",
+    "int_less_than",
+    "make_scheduler",
+]

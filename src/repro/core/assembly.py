@@ -1,0 +1,636 @@
+"""The assembly operator (paper, Sections 4–5).
+
+``Assembly`` is a Volcano iterator whose input yields root OIDs (or
+partially assembled objects) and whose output is pointer-swizzled
+:class:`~repro.core.assembled.AssembledComplexObject` rows.  It is a
+physical operator "that does not correspond to any complex object
+algebra operator … It enforces the physical constraint: 'The portion of
+the complex object needed to carry out the query is entirely in
+memory.'"
+
+Mechanics, all from the paper:
+
+* **Sliding window** — up to ``window_size`` complex objects are under
+  assembly at once; as soon as one completes and is passed up, another
+  is admitted (Section 4, "delayed or sliding assembly operator").
+* **Reference pool + scheduler** — unresolved references from every
+  in-window object compete; the scheduler (depth-first, breadth-first,
+  or elevator) picks which to resolve next (Section 6.2).
+* **Pointer swizzling** — each fetched object is linked to its parent
+  by memory pointer (Section 4).
+* **Shared components** — with sharing statistics enabled, a
+  shared-component table guarantees a shared sub-object is "not loaded
+  twice … into two different memory locations", and its page stays
+  pinned (reference-counted) while any in-window object references it
+  (Section 5).
+* **Selective assembly** — template predicates abort an object as
+  early as possible; references that cannot influence a predicate are
+  deferred until every predicate has passed, so rejected objects cost
+  the minimum number of fetches (Sections 4, 6.5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.core.assembled import AssembledComplexObject, AssembledObject
+from repro.core import trace
+from repro.core.component_iterator import ChildReference, ComponentIterator
+from repro.core.schedulers import (
+    ReferenceScheduler,
+    UnresolvedReference,
+    make_scheduler,
+)
+from repro.core.template import Template
+from repro.core.window import ComplexObjectState, Window
+from repro.errors import AssemblyError
+from repro.storage.oid import Oid
+from repro.storage.store import ObjectStore
+from repro.volcano.iterator import Row, VolcanoIterator
+
+
+@dataclass
+class AssemblyStats:
+    """Counters for one execution of the assembly operator."""
+
+    emitted: int = 0
+    aborted: int = 0
+    fetches: int = 0
+    shared_links: int = 0
+    refs_resolved: int = 0
+    deferred_scheduled: int = 0
+    peak_pinned_pages: int = 0
+    scheduler_ops: int = 0
+    #: shared-table entries dropped under a capacity bound.
+    shared_evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for benchmark tables."""
+        return {
+            "emitted": self.emitted,
+            "aborted": self.aborted,
+            "fetches": self.fetches,
+            "shared_links": self.shared_links,
+            "refs_resolved": self.refs_resolved,
+            "deferred_scheduled": self.deferred_scheduled,
+            "peak_pinned_pages": self.peak_pinned_pages,
+            "scheduler_ops": self.scheduler_ops,
+            "shared_evictions": self.shared_evictions,
+        }
+
+
+class _SharedEntry:
+    """A shared component held in the shared-component table."""
+
+    __slots__ = ("assembled", "refcount", "page_id", "pinned")
+
+    def __init__(self, assembled: AssembledObject, page_id: int) -> None:
+        self.assembled = assembled
+        self.refcount = 0
+        self.page_id = page_id
+        self.pinned = False
+
+
+class Assembly(VolcanoIterator):
+    """Set-oriented retrieval and assembly of complex objects.
+
+    Parameters
+    ----------
+    source:
+        Volcano iterator yielding root :class:`Oid` values (or
+        pre-built :class:`AssembledObject` / complex objects, for
+        stacked assembly inputs).
+    store:
+        The object store to fetch components from.
+    template:
+        The structural/statistical map of the complex objects.
+    window_size:
+        W, the number of complex objects assembled simultaneously.
+        ``window_size=1`` with the depth-first scheduler is the paper's
+        naive, object-at-a-time baseline.
+    scheduler:
+        Scheduler name (``"depth-first"``, ``"breadth-first"``,
+        ``"elevator"``) or a ready :class:`ReferenceScheduler`.
+    use_sharing_statistics:
+        Honour the template's ``shared`` borders with the
+        shared-component table and reference-counted pinning
+        (Section 6.4).  Off = every reference is fetched independently.
+    selective:
+        Defer references that cannot decide a predicate until all
+        predicates passed (Section 6.5).  Default: on exactly when the
+        template has predicates.
+    preassembled:
+        OID → :class:`AssembledObject` map of sub-objects assembled by
+        a lower assembly operator (Figure 17's stacking).
+    pin_pages:
+        Keep the pages of in-window components fixed in the buffer
+        (the paper's buffer-space cost of windows, Section 6.3.3).
+    """
+
+    def __init__(
+        self,
+        source: VolcanoIterator,
+        store: ObjectStore,
+        template: Template,
+        window_size: int = 1,
+        scheduler: Union[str, ReferenceScheduler] = "elevator",
+        use_sharing_statistics: bool = True,
+        selective: Optional[bool] = None,
+        preassembled: Optional[Dict[Oid, AssembledObject]] = None,
+        pin_pages: bool = True,
+        tracer: Optional["AssemblyTracer"] = None,
+        shared_table_capacity: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._source = source
+        self._store = store
+        self._template = template.finalize()
+        self._component_iter = ComponentIterator(self._template)
+        if window_size <= 0:
+            raise AssemblyError("window_size must be positive")
+        self._window_size = window_size
+        self._scheduler_spec = scheduler
+        self._use_sharing = use_sharing_statistics
+        self._selective = (
+            self._template.has_predicates() if selective is None else selective
+        )
+        self._preassembled = dict(preassembled or {})
+        self._pin_pages = pin_pages
+        self._tracer = tracer
+        if shared_table_capacity is not None and shared_table_capacity <= 0:
+            raise AssemblyError("shared_table_capacity must be positive")
+        self._shared_capacity = shared_table_capacity
+
+        self._scheduler: Optional[ReferenceScheduler] = None
+        self._window: Optional[Window] = None
+        self._shared: Dict[Oid, _SharedEntry] = {}
+        self._emit: Deque[AssembledComplexObject] = deque()
+        self._seq = 0
+        self._source_done = False
+        self.stats = AssemblyStats()
+
+    # -- protocol ------------------------------------------------------------
+
+    def _open(self) -> None:
+        if isinstance(self._scheduler_spec, ReferenceScheduler):
+            self._scheduler = self._scheduler_spec
+        else:
+            self._scheduler = make_scheduler(
+                self._scheduler_spec,
+                head_fn=lambda: self._store.disk.head_position,
+                resident_fn=self._store.buffer.is_resident,
+            )
+        self._window = Window(self._window_size)
+        self._shared = {}
+        self._emit = deque()
+        self._seq = 0
+        self._source_done = False
+        self.stats = AssemblyStats()
+        if self._tracer is not None:
+            self._tracer.clear()
+        self._source.open()
+        self._fill_window()
+
+    def _next(self) -> Optional[AssembledComplexObject]:
+        assert self._scheduler is not None and self._window is not None
+        while True:
+            if self._emit:
+                return self._emit.popleft()
+            if len(self._scheduler) == 0:
+                if self._window.is_empty:
+                    self._fill_window()
+                    if self._window.is_empty and not self._emit:
+                        if self._source_done:
+                            return None
+                        continue
+                    continue
+                # Window occupied but nothing scheduled: only legal if
+                # some state holds deferred refs that must now run
+                # (e.g. a predicate subtree turned out to be absent).
+                self._flush_stuck_deferred()
+                continue
+            ref = self._scheduler.pop()
+            if ref.owner not in self._window:
+                continue  # owner aborted after this ref was queued
+            self._resolve(ref)
+
+    def _close(self) -> None:
+        assert self._window is not None
+        # Release every pin still held (incomplete objects, shared pages).
+        for state in self._window.states():
+            self._release_pins(state)
+        for oid, entry in self._shared.items():
+            if entry.pinned:
+                self._store.buffer.unfix(entry.page_id)
+                entry.pinned = False
+        self._shared = {}
+        self.stats.scheduler_ops = (
+            self._scheduler.ops if self._scheduler is not None else 0
+        )
+        self._source.close()
+
+    # -- window management ---------------------------------------------------------
+
+    def _fill_window(self) -> None:
+        assert self._window is not None
+        while not self._window.is_full and not self._source_done:
+            row = self._source.next()
+            if row is None:
+                self._source_done = True
+                return
+            self._admit(row)
+
+    def _admit(self, row: Row) -> None:
+        assert self._window is not None
+        if isinstance(row, Oid):
+            self._admit_root_oid(row)
+        elif isinstance(row, AssembledComplexObject):
+            self._admit_partial(row.root)
+        elif isinstance(row, AssembledObject):
+            self._admit_partial(row)
+        else:
+            raise AssemblyError(
+                f"assembly input must be Oid or assembled objects, "
+                f"got {type(row).__name__}"
+            )
+
+    def _admit_root_oid(self, oid: Oid) -> None:
+        assert self._window is not None and self._scheduler is not None
+        state = self._window.admit(
+            oid,
+            total_nodes=self._template.node_count,
+            total_predicates=self._template.predicate_count,
+        )
+        root_node = self._template.root
+        ref = UnresolvedReference(
+            oid=oid,
+            page_id=self._store.page_of(oid),
+            owner=state.serial,
+            node=root_node,
+            parent=None,
+            parent_slot=-1,
+            seq=self._next_seq(),
+            rejection=self._component_iter.subtree_rejection(root_node),
+            is_root=True,
+        )
+        if self._tracer is not None:
+            self._tracer.record(
+                trace.ADMITTED, state.serial, oid,
+                label=root_node.label, page_id=ref.page_id,
+            )
+        self._scheduler.add(ref)
+
+    def _admit_partial(self, root: AssembledObject) -> None:
+        """Admit a partially assembled complex object (Section 4).
+
+        The component iterator finds every unresolved reference within
+        the partial structure; outstanding counters start from what is
+        still missing.  Predicates on already-materialized nodes are
+        (re-)evaluated immediately.
+        """
+        assert self._window is not None and self._scheduler is not None
+        refs = self._component_iter.expand_partial(root)
+        missing_nodes = sum(ref.node.subtree_nodes for ref in refs)
+        missing_predicates = sum(ref.node.subtree_predicates for ref in refs)
+        state = self._window.admit(
+            root.oid,
+            total_nodes=missing_nodes,
+            total_predicates=missing_predicates,
+        )
+        state.root = root
+        # Predicates on nodes the partial input already materialized.
+        if not self._evaluate_materialized_predicates(state, root):
+            return
+        self._schedule_children(state, refs)
+        if state.is_complete():
+            self._complete(state)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- resolution --------------------------------------------------------------------
+
+    def _resolve(self, ref: UnresolvedReference) -> None:
+        assert self._window is not None
+        state = self._window.get(ref.owner)
+        self.stats.refs_resolved += 1
+
+        if self._use_sharing and ref.oid in self._shared:
+            self._link_shared(state, ref)
+        elif ref.oid in self._preassembled:
+            self._link_preassembled(state, ref)
+        else:
+            self._fetch_and_expand(state, ref)
+
+        if ref.owner in self._window and state.is_complete():
+            self._complete(state)
+
+    def _link_shared(
+        self, state: ComplexObjectState, ref: UnresolvedReference
+    ) -> None:
+        """Satisfy a reference from the shared-component table: no fetch."""
+        entry = self._shared[ref.oid]
+        entry.refcount += 1
+        state.shared_oids.append(ref.oid)
+        self._attach(state, ref, entry.assembled)
+        state.shared_links += 1
+        self.stats.shared_links += 1
+        if self._tracer is not None:
+            self._tracer.record(
+                trace.LINKED_SHARED, state.serial, ref.oid,
+                label=ref.node.label, page_id=entry.page_id,
+            )
+        # The whole shared subtree is materialized; its predicates
+        # passed when it was first assembled (else its first owner
+        # would have aborted and the entry never created).
+        state.outstanding_nodes -= ref.node.subtree_nodes
+        self._note_predicates_resolved(state, ref.node.subtree_predicates)
+
+    def _link_preassembled(
+        self, state: ComplexObjectState, ref: UnresolvedReference
+    ) -> None:
+        """Attach a sub-object assembled by a lower operator (Figure 17)."""
+        sub = self._preassembled[ref.oid]
+        self._attach(state, ref, sub)
+        if self._tracer is not None:
+            self._tracer.record(
+                trace.LINKED_PREASSEMBLED, state.serial, ref.oid,
+                label=ref.node.label,
+            )
+        remaining = self._component_iter.expand_partial(sub)
+        # Of ref.node's template subtree, everything except what the
+        # remaining references will bring in is already materialized.
+        still_missing_nodes = sum(r.node.subtree_nodes for r in remaining)
+        still_missing_preds = sum(r.node.subtree_predicates for r in remaining)
+        state.outstanding_nodes -= ref.node.subtree_nodes - still_missing_nodes
+        if not self._evaluate_materialized_predicates(state, sub):
+            return
+        self._schedule_children(state, remaining)
+        self._note_predicates_resolved(
+            state, ref.node.subtree_predicates - still_missing_preds
+        )
+
+    def _fetch_and_expand(
+        self, state: ComplexObjectState, ref: UnresolvedReference
+    ) -> None:
+        """The disk path: fetch, pin, swizzle, expand, test predicate."""
+        if self._pin_pages:
+            record = self._store.fetch_pinned(ref.oid)
+        else:
+            record = self._store.fetch(ref.oid)
+        page_id = self._store.page_of(ref.oid)
+        state.fetches += 1
+        self.stats.fetches += 1
+        self.stats.peak_pinned_pages = max(
+            self.stats.peak_pinned_pages, self._store.buffer.pinned_pages
+        )
+        if self._tracer is not None:
+            self._tracer.record(
+                trace.FETCHED, state.serial, ref.oid,
+                label=ref.node.label, page_id=page_id,
+            )
+
+        assembled, children = self._component_iter.materialize(
+            ref.oid, ref.node, record
+        )
+
+        share_this = self._use_sharing and ref.node.shared
+        if self._pin_pages:
+            if share_this:
+                # The shared entry owns the pin; released when the last
+                # in-window referrer lets go (Section 5, reason two).
+                pass
+            else:
+                state.pinned_pages.append(page_id)
+
+        # Early abort on this node's predicate (Section 6.5).
+        if ref.node.predicate is not None:
+            passed = ref.node.predicate.evaluate(record)
+            if self._tracer is not None:
+                self._tracer.record(
+                    trace.PREDICATE_PASSED if passed else trace.PREDICATE_FAILED,
+                    state.serial, ref.oid, label=ref.node.label,
+                )
+            if not passed:
+                if self._pin_pages and share_this:
+                    # Pin not yet handed to a shared entry: release it.
+                    self._store.buffer.unfix(page_id)
+                self._abort(state)
+                return
+
+        if share_this:
+            entry = _SharedEntry(assembled, page_id)
+            entry.refcount = 1
+            entry.pinned = self._pin_pages
+            assembled.shared_in = True
+            self._shared[ref.oid] = entry
+            state.shared_oids.append(ref.oid)
+            self._trim_shared_table()
+
+        self._attach(state, ref, assembled)
+        state.outstanding_nodes -= 1
+
+        missing_nodes, missing_predicates = (
+            self._component_iter.missing_subtree_counts(assembled, children)
+        )
+        state.outstanding_nodes -= missing_nodes
+        predicates_newly_resolved = missing_predicates
+        if ref.node.predicate is not None:
+            predicates_newly_resolved += 1
+
+        self._schedule_children(state, children)
+        self._note_predicates_resolved(state, predicates_newly_resolved)
+
+    def _trim_shared_table(self) -> None:
+        """Drop unreferenced entries beyond the capacity bound.
+
+        "After a component is no longer referenced, it is subject to
+        replacement" (Section 5): entries with a zero reference count
+        are evictable, oldest first; re-referencing an evicted
+        component simply fetches it again.  In-use entries are never
+        dropped, so the table may transiently exceed the bound when
+        every entry is live.
+        """
+        if self._shared_capacity is None:
+            return
+        if len(self._shared) <= self._shared_capacity:
+            return
+        for oid in list(self._shared):
+            if len(self._shared) <= self._shared_capacity:
+                return
+            entry = self._shared[oid]
+            if entry.refcount == 0:
+                del self._shared[oid]
+                self.stats.shared_evictions += 1
+
+    def _attach(
+        self,
+        state: ComplexObjectState,
+        ref: UnresolvedReference,
+        assembled: AssembledObject,
+    ) -> None:
+        """Swizzle the fetched object into its parent (or set the root)."""
+        if ref.parent is None:
+            state.root = assembled
+        else:
+            ref.parent.swizzle(ref.parent_slot, assembled)
+
+    def _schedule_children(
+        self, state: ComplexObjectState, children: List[ChildReference]
+    ) -> None:
+        """Queue child references, deferring predicate-blind ones.
+
+        While the owner still has undecided predicates, references
+        whose subtree cannot reject the object are withheld — "first
+        fetching objects needed to evaluate the predicate"
+        (Section 6.5).
+        """
+        assert self._scheduler is not None
+        now: List[UnresolvedReference] = []
+        gate = self._selective and state.gate_references()
+        for child in children:
+            unresolved = UnresolvedReference(
+                oid=child.oid,
+                page_id=self._store.page_of(child.oid),
+                owner=state.serial,
+                node=child.node,
+                parent=child.parent,
+                parent_slot=child.slot,
+                seq=self._next_seq(),
+                rejection=self._component_iter.subtree_rejection(child.node),
+            )
+            if gate and child.node.subtree_predicates == 0:
+                state.deferred.append(unresolved)
+                if self._tracer is not None:
+                    self._tracer.record(
+                        trace.DEFERRED, state.serial, child.oid,
+                        label=child.node.label,
+                    )
+            else:
+                now.append(unresolved)
+        if now:
+            self._scheduler.add_siblings(now)
+
+    def _note_predicates_resolved(
+        self, state: ComplexObjectState, count: int
+    ) -> None:
+        """Decrement pending predicates; release deferred refs at zero."""
+        if count <= 0:
+            return
+        state.pending_predicates -= count
+        if state.pending_predicates < 0:
+            raise AssemblyError(
+                f"complex object {state.serial}: predicate accounting "
+                f"went negative"
+            )
+        if state.pending_predicates == 0 and state.deferred:
+            assert self._scheduler is not None
+            released = state.deferred
+            state.deferred = []
+            self.stats.deferred_scheduled += len(released)
+            if self._tracer is not None:
+                for ref in released:
+                    self._tracer.record(
+                        trace.ACTIVATED, state.serial, ref.oid,
+                        label=ref.node.label, page_id=ref.page_id,
+                    )
+            self._scheduler.add_siblings(released)
+
+    def _evaluate_materialized_predicates(
+        self, state: ComplexObjectState, root: AssembledObject
+    ) -> bool:
+        """Run predicates on already-assembled nodes; abort on failure."""
+        from repro.storage.record import ObjectRecord
+
+        for obj in root.walk():
+            predicate = obj.node.predicate
+            if predicate is None:
+                continue
+            record = ObjectRecord(
+                ints=list(obj.ints),
+                refs=list(obj.ref_oids),
+                fmt=self._store.fmt,
+            )
+            if not predicate.evaluate(record):
+                self._abort(state)
+                return False
+        return True
+
+    def _flush_stuck_deferred(self) -> None:
+        """Safety valve: release deferred refs of stalled states.
+
+        With correct accounting this never fires; it exists so a
+        template/data mismatch degrades to eager assembly instead of an
+        infinite loop, and it raises if there is truly nothing to do.
+        """
+        assert self._scheduler is not None and self._window is not None
+        released_any = False
+        for state in self._window.states():
+            if state.deferred:
+                refs = state.deferred
+                state.deferred = []
+                self._scheduler.add_siblings(refs)
+                released_any = True
+        if not released_any:
+            raise AssemblyError(
+                "assembly stalled: window occupied but no references "
+                "pending (template does not match the data?)"
+            )
+
+    # -- retirement ----------------------------------------------------------------------
+
+    def _release_pins(self, state: ComplexObjectState) -> None:
+        if self._pin_pages:
+            for page_id in state.pinned_pages:
+                self._store.buffer.unfix(page_id)
+        state.pinned_pages = []
+        for oid in state.shared_oids:
+            entry = self._shared.get(oid)
+            if entry is None:
+                continue
+            entry.refcount -= 1
+            if entry.refcount == 0 and entry.pinned:
+                # Last in-window referrer gone: page becomes evictable
+                # (the assembled object itself stays in the table).
+                self._store.buffer.unfix(entry.page_id)
+                entry.pinned = False
+        state.shared_oids = []
+
+    def _complete(self, state: ComplexObjectState) -> None:
+        assert self._window is not None
+        if state.root is None:
+            raise AssemblyError(
+                f"complex object {state.serial} completed without a root"
+            )
+        self._window.retire(state.serial)
+        self._release_pins(state)
+        self._emit.append(
+            AssembledComplexObject(
+                root=state.root,
+                serial=state.serial,
+                fetches=state.fetches,
+                shared_links=state.shared_links,
+            )
+        )
+        self.stats.emitted += 1
+        if self._tracer is not None:
+            self._tracer.record(
+                trace.EMITTED, state.serial, state.root.oid
+            )
+        self._fill_window()
+
+    def _abort(self, state: ComplexObjectState) -> None:
+        """Predicate failure: retract the object with minimal waste."""
+        assert self._window is not None and self._scheduler is not None
+        state.aborted = True
+        self._scheduler.remove_owner(state.serial)
+        state.deferred = []
+        self._window.retire(state.serial)
+        self._release_pins(state)
+        self.stats.aborted += 1
+        if self._tracer is not None:
+            self._tracer.record(trace.ABORTED, state.serial, state.root_oid)
+        self._fill_window()

@@ -1,0 +1,86 @@
+"""Per-device request queues: the server-per-device scheduler (§7).
+
+Pairs with :class:`repro.storage.multidisk.MultiDeviceDisk`: one
+elevator queue per device ("each server would maintain a queue of
+requests"), each sweeping its own device's head.
+
+Because every queue orders only its own device's fetches against its
+own head, devices never perturb each other's sweeps — the multi-device
+generalization of exclusive device control.
+
+``pop`` serves the device with the **deepest queue**.  Elevator sweeps
+pay off in proportion to queue depth, so an equal (round-robin) service
+rate is counterproductive: it drains the low-traffic devices to depth
+zero and their sweeps degenerate to random seeks.  Longest-queue-first
+keeps every device's backlog — and therefore every device's sweep
+quality — as deep as the reference flow allows, which is also how a
+real asynchronous server array behaves (each server works off its own
+backlog; the operator consumes completions as they arrive).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.schedulers import (
+    ElevatorScheduler,
+    ReferenceScheduler,
+    UnresolvedReference,
+)
+from repro.errors import SchedulerError
+from repro.storage.multidisk import MultiDeviceDisk
+
+
+class MultiDeviceScheduler(ReferenceScheduler):
+    """One elevator per device, served round-robin."""
+
+    name = "multi-device"
+
+    def __init__(self, disk: MultiDeviceDisk) -> None:
+        super().__init__()
+        self._disk = disk
+        self._queues: List[ElevatorScheduler] = [
+            ElevatorScheduler(head_fn=self._head_fn(device))
+            for device in range(disk.n_devices)
+        ]
+        self._turn = 0
+
+    def _head_fn(self, device: int):
+        return lambda: self._disk.head_of(device)
+
+    # -- pool maintenance -----------------------------------------------------
+
+    def add(self, ref: UnresolvedReference) -> None:
+        self.ops += 1
+        device = self._disk.device_of(ref.page_id)
+        self._queues[device].add(ref)
+
+    def pop(self) -> UnresolvedReference:
+        self.require_nonempty()
+        self.ops += 1
+        # Longest queue first; ties rotate so no device starves.
+        best = None
+        best_depth = -1
+        n = len(self._queues)
+        for offset in range(n):
+            index = (self._turn + offset) % n
+            depth = len(self._queues[index])
+            if depth > best_depth:
+                best = index
+                best_depth = depth
+        assert best is not None and best_depth > 0
+        self._turn = (best + 1) % n
+        return self._queues[best].pop()
+
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        removed: List[UnresolvedReference] = []
+        for queue in self._queues:
+            removed.extend(queue.remove_owner(owner))
+        return removed
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def queue_depths(self) -> List[int]:
+        """Pending references per device (for balance diagnostics)."""
+        return [len(queue) for queue in self._queues]

@@ -1,0 +1,343 @@
+"""Reference-pool scheduling: depth-first, breadth-first, elevator.
+
+"At any stage of assembling a complex object there may be several
+references yet to be resolved … Ideally, the reference that reduces
+disk head movement and overall assembly time will be chosen." (§4)
+
+The pool of :class:`UnresolvedReference` items is the data structure
+whose maintenance is the only CPU overhead of set-oriented assembly
+(paper, footnote 5: "a list, queue or priority queue").  Three
+schedulers implement Section 6.2:
+
+* **depth-first** — LIFO within a complex object, earlier windows
+  first: "equivalent to object-at-a-time assembly, regardless of
+  window size";
+* **breadth-first** — FIFO across the window ("'breadth' refers to the
+  breadth of the window and not … a single complex object");
+* **elevator** — the SCAN policy over physical page numbers,
+  "minimizing disk head movement"; ties on the same page break toward
+  the higher rejection probability, implementing Section 5's rule that
+  equal-cost fetches prefer the component more likely to abort the
+  object.
+
+Every structure operation is counted (``ops``) so the footnote-5
+overhead claim can be measured (ablation A-1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left, insort
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.assembled import AssembledObject
+from repro.core.template import TemplateNode
+from repro.errors import SchedulerError
+from repro.storage.oid import Oid
+
+
+@dataclass
+class UnresolvedReference:
+    """One pending inter-object reference.
+
+    ``owner`` identifies the in-window complex object; ``parent`` and
+    ``parent_slot`` say where to swizzle the fetched child
+    (``parent is None`` for window roots).  ``page_id`` is the physical
+    location from the OID directory — the elevator's key.  ``rejection``
+    is the highest rejection probability in the referenced subtree,
+    used for equal-cost tie-breaking.
+    """
+
+    oid: Oid
+    page_id: int
+    owner: int
+    node: TemplateNode
+    parent: Optional[AssembledObject]
+    parent_slot: int
+    seq: int
+    rejection: float = 0.0
+    is_root: bool = False
+
+    def __repr__(self) -> str:
+        return (
+            f"UnresolvedReference({self.oid}, page={self.page_id}, "
+            f"owner={self.owner}, node={self.node.label!r})"
+        )
+
+
+class ReferenceScheduler(ABC):
+    """The scheduling structure of footnote 5."""
+
+    #: registry name, e.g. ``"elevator"``.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: structure operations performed (adds + pops + removals).
+        self.ops = 0
+
+    @abstractmethod
+    def add(self, ref: UnresolvedReference) -> None:
+        """Insert one unresolved reference into the pool."""
+
+    @abstractmethod
+    def pop(self) -> UnresolvedReference:
+        """Remove and return the next reference to resolve."""
+
+    def add_siblings(self, refs: List[UnresolvedReference]) -> None:
+        """Insert the child references of one freshly fetched object.
+
+        Default: insert in child-slot order.  Depth-first overrides to
+        keep footnote 6's child order under its LIFO pool.
+        """
+        for ref in refs:
+            self.add(ref)
+
+    @abstractmethod
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        """Retract every reference of an aborted complex object."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Pending reference count."""
+
+    def require_nonempty(self) -> None:
+        """Raise :class:`SchedulerError` when the pool is empty."""
+        if len(self) == 0:
+            raise SchedulerError(f"{self.name} scheduler pool is empty")
+
+
+class DepthFirstScheduler(ReferenceScheduler):
+    """Object-at-a-time order (Section 6.2's first algorithm).
+
+    Non-root references are pushed and popped LIFO; window roots enter
+    at the *bottom* of the stack, so the current complex object is
+    fully traversed before the next one starts — which is exactly why
+    depth-first scheduling "is equivalent to object-at-a-time assembly,
+    regardless of window size".  Children of one object pop in child
+    slot order (footnote 6: child order is reference storage order).
+    """
+
+    name = "depth-first"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stack: Deque[UnresolvedReference] = deque()
+
+    def add(self, ref: UnresolvedReference) -> None:
+        self.ops += 1
+        if ref.is_root:
+            self._stack.appendleft(ref)
+        else:
+            self._stack.append(ref)
+
+    def add_siblings(self, refs: List[UnresolvedReference]) -> None:
+        """Push reversed so the first-slot child pops first (footnote 6)."""
+        for ref in reversed(refs):
+            self.add(ref)
+
+    def pop(self) -> UnresolvedReference:
+        self.require_nonempty()
+        self.ops += 1
+        return self._stack.pop()
+
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        removed = [ref for ref in self._stack if ref.owner == owner]
+        if removed:
+            self.ops += len(self._stack)
+            self._stack = deque(
+                ref for ref in self._stack if ref.owner != owner
+            )
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class BreadthFirstScheduler(ReferenceScheduler):
+    """FIFO across the whole window (Section 6.2's second algorithm)."""
+
+    name = "breadth-first"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: Deque[UnresolvedReference] = deque()
+
+    def add(self, ref: UnresolvedReference) -> None:
+        self.ops += 1
+        self._queue.append(ref)
+
+    def pop(self) -> UnresolvedReference:
+        self.require_nonempty()
+        self.ops += 1
+        return self._queue.popleft()
+
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        removed = [ref for ref in self._queue if ref.owner == owner]
+        if removed:
+            self.ops += len(self._queue)
+            self._queue = deque(
+                ref for ref in self._queue if ref.owner != owner
+            )
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class ElevatorScheduler(ReferenceScheduler):
+    """SCAN over physical page numbers (Section 6.2's third algorithm).
+
+    The pool is kept sorted by ``(page_id, -rejection, seq)``.  ``pop``
+    continues in the current sweep direction from the disk head's
+    position and reverses at the end, like the classic elevator.
+    ``head_fn`` supplies the live head position (wired to the simulated
+    disk by the assembly operator).
+    """
+
+    name = "elevator"
+
+    def __init__(self, head_fn: Optional[Callable[[], int]] = None) -> None:
+        super().__init__()
+        self._head_fn = head_fn if head_fn is not None else (lambda: 0)
+        self._entries: List[Tuple[int, float, int, UnresolvedReference]] = []
+        self._direction = 1  # +1 sweeping up, -1 sweeping down
+
+    def _key(self, ref: UnresolvedReference) -> Tuple[int, float, int]:
+        return (ref.page_id, -ref.rejection, ref.seq)
+
+    def add(self, ref: UnresolvedReference) -> None:
+        self.ops += 1
+        key = self._key(ref)
+        insort(self._entries, (key[0], key[1], key[2], ref))
+
+    def pop(self) -> UnresolvedReference:
+        self.require_nonempty()
+        self.ops += 1
+        head = self._head_fn()
+        index = self._pick(head)
+        _page, _rej, _seq, ref = self._entries.pop(index)
+        return ref
+
+    def _pick(self, head: int) -> int:
+        """Index of the next entry under SCAN from ``head``."""
+        # Position of the first entry with page_id >= head.
+        split = bisect_left(self._entries, (head, float("-inf"), -1, None))  # type: ignore[arg-type]
+        if self._direction > 0:
+            if split < len(self._entries):
+                return split
+            self._direction = -1
+            return len(self._entries) - 1
+        if split > 0:
+            # Continue sweeping down: the nearest entry at or below head.
+            candidate = split - 1
+            if candidate >= 0:
+                return candidate
+        self._direction = 1
+        return 0
+
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        removed = [
+            entry[3] for entry in self._entries if entry[3].owner == owner
+        ]
+        if removed:
+            self.ops += len(self._entries)
+            self._entries = [
+                entry for entry in self._entries if entry[3].owner != owner
+            ]
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CScanScheduler(ReferenceScheduler):
+    """Circular SCAN: sweep upward only, wrap to the lowest page.
+
+    The classic fairness variant of the elevator: instead of reversing
+    at the top, the head jumps back to the lowest pending page and
+    sweeps up again.  Under pure seek-distance accounting the wrap
+    costs a long seek, so C-SCAN trades a little total movement for
+    bounded per-request waiting — worth having as a comparison point
+    for the §6.2 scheduling study.
+    """
+
+    name = "cscan"
+
+    def __init__(self, head_fn: Optional[Callable[[], int]] = None) -> None:
+        super().__init__()
+        self._head_fn = head_fn if head_fn is not None else (lambda: 0)
+        self._entries: List[Tuple[int, float, int, UnresolvedReference]] = []
+
+    def add(self, ref: UnresolvedReference) -> None:
+        self.ops += 1
+        insort(
+            self._entries, (ref.page_id, -ref.rejection, ref.seq, ref)
+        )
+
+    def pop(self) -> UnresolvedReference:
+        self.require_nonempty()
+        self.ops += 1
+        head = self._head_fn()
+        index = bisect_left(
+            self._entries, (head, float("-inf"), -1, None)  # type: ignore[arg-type]
+        )
+        if index >= len(self._entries):
+            index = 0  # wrap to the lowest pending page
+        _page, _rej, _seq, ref = self._entries.pop(index)
+        return ref
+
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        removed = [
+            entry[3] for entry in self._entries if entry[3].owner == owner
+        ]
+        if removed:
+            self.ops += len(self._entries)
+            self._entries = [
+                entry for entry in self._entries if entry[3].owner != owner
+            ]
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Scheduler registry keyed by benchmark-table names.  The adaptive
+#: scheduler (Section 7's integrated algorithm) registers itself here
+#: on import of :mod:`repro.core.adaptive`.
+SCHEDULERS: Dict[str, type] = {
+    DepthFirstScheduler.name: DepthFirstScheduler,
+    BreadthFirstScheduler.name: BreadthFirstScheduler,
+    ElevatorScheduler.name: ElevatorScheduler,
+    CScanScheduler.name: CScanScheduler,
+}
+
+
+def make_scheduler(
+    name: str,
+    head_fn: Optional[Callable[[], int]] = None,
+    resident_fn: Optional[Callable[[int], bool]] = None,
+) -> ReferenceScheduler:
+    """Instantiate a scheduler by registry name.
+
+    ``head_fn`` feeds disk-position-aware schedulers; ``resident_fn``
+    feeds buffer-aware ones.  Schedulers that need neither ignore them.
+    """
+    if name == "adaptive":
+        # Imported lazily to avoid a circular import at module load.
+        from repro.core.adaptive import AdaptiveElevatorScheduler
+
+        return AdaptiveElevatorScheduler(
+            head_fn=head_fn, resident_fn=resident_fn
+        )
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; choose from "
+            f"{sorted(SCHEDULERS) + ['adaptive']}"
+        ) from None
+    if cls in (ElevatorScheduler, CScanScheduler):
+        return cls(head_fn=head_fn)
+    return cls()

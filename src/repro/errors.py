@@ -1,0 +1,119 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package
+layout: storage-layer errors, query-engine errors, and assembly errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageError(StorageError):
+    """A slotted-page operation failed (bad slot, no free space, ...)."""
+
+
+class PageFullError(PageError):
+    """The record does not fit into the page's free space."""
+
+
+class BadSlotError(PageError):
+    """A slot id does not address a live record."""
+
+
+class DiskError(StorageError):
+    """The simulated disk was asked for an invalid page."""
+
+
+class ExtentError(DiskError):
+    """Extent allocation failed or an address fell outside its extent."""
+
+
+class BufferError_(StorageError):
+    """Base class for buffer-manager failures.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`BufferError`.
+    """
+
+
+class BufferFullError(BufferError_):
+    """All buffer frames are pinned; nothing can be evicted."""
+
+
+class PinError(BufferError_):
+    """A page was unfixed more times than it was fixed."""
+
+
+class RecordError(StorageError):
+    """Record encoding or decoding failed."""
+
+
+class UnknownOidError(StorageError):
+    """An OID has no entry in the OID directory."""
+
+
+class DuplicateOidError(StorageError):
+    """An OID was stored twice."""
+
+
+class IndexError_(StorageError):
+    """B-tree index failure (duplicate key on a unique index, ...)."""
+
+
+class DuplicateKeyError(IndexError_):
+    """Insertion of a key that already exists in a unique index."""
+
+
+class KeyNotFoundError(IndexError_):
+    """Deletion or lookup of a key that is not in the index."""
+
+
+# ---------------------------------------------------------------------------
+# Volcano query engine
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-engine failures."""
+
+
+class IteratorStateError(QueryError):
+    """An iterator was driven outside the open/next/close protocol."""
+
+
+class PlanError(QueryError):
+    """A query plan is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Assembly operator
+# ---------------------------------------------------------------------------
+
+
+class AssemblyError(ReproError):
+    """Base class for assembly-operator failures."""
+
+
+class TemplateError(AssemblyError):
+    """A template is structurally invalid."""
+
+
+class SchedulerError(AssemblyError):
+    """A scheduling structure was misused (pop from empty pool, ...)."""
+
+
+class WindowError(AssemblyError):
+    """Sliding-window bookkeeping failed."""

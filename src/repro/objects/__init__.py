@@ -1,0 +1,21 @@
+"""Application-level object model: types, objects, complex-object graphs."""
+
+from repro.objects.builder import GraphBuilder
+from repro.objects.model import (
+    ComplexObjectDef,
+    ModelError,
+    ObjectDef,
+    ObjectType,
+    TypeRegistry,
+    validate_database,
+)
+
+__all__ = [
+    "ComplexObjectDef",
+    "GraphBuilder",
+    "ModelError",
+    "ObjectDef",
+    "ObjectType",
+    "TypeRegistry",
+    "validate_database",
+]

@@ -1,0 +1,33 @@
+"""Logical queries and the rule-based optimizer (Figure 1's pipeline)."""
+
+from repro.query.logical import (
+    ComplexObjectQuery,
+    ComponentPredicate,
+    retrieve,
+)
+from repro.query.optimizer import (
+    DEFAULT_WINDOW_CEILING,
+    OptimizedPlan,
+    Optimizer,
+    PhysicalChoice,
+)
+from repro.query.statistics import (
+    LabelStatistics,
+    SampleStatistics,
+    annotate_from_sample,
+    collect_statistics,
+)
+
+__all__ = [
+    "ComplexObjectQuery",
+    "ComponentPredicate",
+    "DEFAULT_WINDOW_CEILING",
+    "LabelStatistics",
+    "OptimizedPlan",
+    "Optimizer",
+    "PhysicalChoice",
+    "SampleStatistics",
+    "annotate_from_sample",
+    "collect_statistics",
+    "retrieve",
+]

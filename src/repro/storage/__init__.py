@@ -1,0 +1,50 @@
+"""Storage substrate: simulated disk, pages, buffer manager, files, index.
+
+This package is the "file system with heap files, B-trees, and buffer
+management" that Volcano provides (paper, Section 3), built over a
+seek-accounting :class:`~repro.storage.disk.SimulatedDisk` — the
+measurement instrument behind every figure in Section 6.
+"""
+
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.disk import DiskStats, Extent, SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.multidisk import MultiDeviceDisk
+from repro.storage.snapshot import load_store, save_store
+from repro.storage.oid import NULL_OID, OID_SIZE, Oid, OidDirectory, Rid
+from repro.storage.page import PAGE_SIZE, Page, records_per_page
+from repro.storage.record import (
+    OBJECT_PAYLOAD_SIZE,
+    PAPER_FORMAT,
+    ObjectRecord,
+    RecordFormat,
+)
+from repro.storage.store import ObjectStore, PagePlanner
+
+__all__ = [
+    "BTree",
+    "BufferManager",
+    "BufferStats",
+    "DiskStats",
+    "Extent",
+    "HeapFile",
+    "MultiDeviceDisk",
+    "NULL_OID",
+    "OBJECT_PAYLOAD_SIZE",
+    "OID_SIZE",
+    "Oid",
+    "OidDirectory",
+    "ObjectRecord",
+    "ObjectStore",
+    "PAGE_SIZE",
+    "PAPER_FORMAT",
+    "Page",
+    "PagePlanner",
+    "RecordFormat",
+    "Rid",
+    "SimulatedDisk",
+    "load_store",
+    "records_per_page",
+    "save_store",
+]

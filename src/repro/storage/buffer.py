@@ -1,0 +1,289 @@
+"""Buffer manager: fix/unfix interface with LRU replacement.
+
+Volcano "includes a file system with heap files, B-trees, and buffer
+management" (Section 3); every page access in this repository goes
+through this buffer manager.  Two paper-specific concerns shape it:
+
+* **Pinning as reference counting.**  Section 5 requires that "the
+  shared component remains in memory as long as there is at least one
+  valid reference to it … e.g., through reference counting.  After a
+  component is no longer referenced, it is subject to replacement using
+  buffer replacement policies."  ``fix``/``unfix`` are exactly that
+  reference count; the assembly operator holds a fix per in-window
+  referrer of a shared component's page.
+
+* **Buffer hits are not free.**  Footnote 4 observes that even buffer
+  hits cost a guarded table lookup.  The stats therefore count hits and
+  faults separately so benchmarks can report both (Figure 15 notes that
+  sharing statistics reduce *total reads*, i.e. faults).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Set
+
+from repro.errors import BufferFullError, PinError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page
+
+
+@dataclass
+class BufferStats:
+    """Buffer-traffic accounting."""
+
+    fixes: int = 0
+    hits: int = 0
+    faults: int = 0
+    evictions: int = 0
+    #: Faults on pages that were resident earlier and got evicted —
+    #: the wasted work Figure 15's sharing statistics avoid.
+    re_reads: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fixes served without disk I/O."""
+        if self.fixes == 0:
+            return 0.0
+        return self.hits / self.fixes
+
+
+class _Frame:
+    """One buffered page plus its pin count."""
+
+    __slots__ = ("page", "pin_count", "dirty", "referenced")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        # Clock policy's reference bit (second chance).
+        self.referenced = True
+
+
+class BufferManager:
+    """A pool of page frames over a :class:`SimulatedDisk`.
+
+    ``capacity`` is the number of frames; ``None`` means unbounded,
+    which the paper's main experiments use ("There is enough buffer
+    space to hold the largest database, so no page replacement
+    occurs").  The restricted-buffer ablation passes a finite capacity.
+
+    Replacement (over unpinned frames only) is selectable:
+
+    * ``policy="lru"`` (default) — least-recently-used, tracked by
+      access order;
+    * ``policy="clock"`` — the classic second-chance sweep: a hand
+      cycles the frames clearing reference bits, evicting the first
+      unreferenced, unpinned frame it meets.  Near-LRU behaviour at
+      O(1) bookkeeping per hit, which is why real buffer managers
+      (including the systems of the paper's era) prefer it.
+
+    A ``fix`` pins the frame (incrementing its pin count); ``unfix``
+    releases one pin.  Evicting is only legal for frames with pin
+    count zero.
+    """
+
+    #: accepted replacement policies.
+    POLICIES = ("lru", "clock")
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: Optional[int] = None,
+        policy: str = "lru",
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise BufferFullError("buffer capacity must be positive")
+        if policy not in self.POLICIES:
+            raise BufferFullError(
+                f"policy must be one of {self.POLICIES}, got {policy!r}"
+            )
+        self._disk = disk
+        self._capacity = capacity
+        self.policy = policy
+        # Insertion order doubles as LRU order for unpinned frames;
+        # move_to_end on access keeps it current.  The clock policy
+        # uses the same ordered dict as its circular frame list.
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        # Clock hand: the page id the next sweep examines first.
+        # Persists across evictions, which is what gives re-referenced
+        # frames their second chance.
+        self._clock_hand_page: Optional[int] = None
+        self._ever_resident: Set[int] = set()
+        self._pinned_count = 0
+        self.stats = BufferStats()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Frame limit, or ``None`` when unbounded."""
+        return self._capacity
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently buffered."""
+        return len(self._frames)
+
+    @property
+    def pinned_pages(self) -> int:
+        """Number of pages with at least one pin (O(1))."""
+        return self._pinned_count
+
+    def pin_count(self, page_id: int) -> int:
+        """Current pin count of ``page_id`` (0 if not resident)."""
+        frame = self._frames.get(page_id)
+        return frame.pin_count if frame else 0
+
+    def is_resident(self, page_id: int) -> bool:
+        """Is the page in the pool right now?"""
+        return page_id in self._frames
+
+    # -- replacement ------------------------------------------------------------
+
+    def _evict_one(self) -> None:
+        if self.policy == "clock":
+            self._evict_clock()
+        else:
+            self._evict_lru()
+
+    def _drop_frame(self, page_id: int) -> None:
+        frame = self._frames[page_id]
+        if frame.dirty:
+            self._disk.write(frame.page)
+        del self._frames[page_id]
+        self.stats.evictions += 1
+
+    def _evict_lru(self) -> None:
+        for page_id, frame in self._frames.items():
+            if frame.pin_count == 0:
+                self._drop_frame(page_id)
+                return
+        raise BufferFullError(
+            f"all {len(self._frames)} frames are pinned; cannot evict"
+        )
+
+    def _evict_clock(self) -> None:
+        """Second-chance sweep: clear reference bits until a victim."""
+        pages = list(self._frames)
+        if not pages:
+            raise BufferFullError("no frames to evict")
+        start = 0
+        if self._clock_hand_page is not None:
+            try:
+                start = pages.index(self._clock_hand_page)
+            except ValueError:
+                start = 0  # the hand's page was dropped; restart
+        # Two full sweeps suffice: the first clears reference bits,
+        # the second must find an unreferenced frame unless all pinned.
+        n = len(pages)
+        for step in range(2 * n):
+            index = (start + step) % n
+            frame = self._frames[pages[index]]
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            # Park the hand on the frame after the victim (the victim
+            # itself is about to disappear from the frame list).
+            self._clock_hand_page = (
+                pages[(index + 1) % n] if n > 1 else None
+            )
+            if self._clock_hand_page == pages[index]:
+                self._clock_hand_page = None
+            self._drop_frame(pages[index])
+            return
+        raise BufferFullError(
+            f"all {len(self._frames)} frames are pinned; cannot evict"
+        )
+
+    def _ensure_room(self) -> None:
+        if self._capacity is None:
+            return
+        while len(self._frames) >= self._capacity:
+            self._evict_one()
+
+    # -- fix / unfix ---------------------------------------------------------------
+
+    def fix(self, page_id: int) -> Page:
+        """Pin ``page_id`` in the pool and return its page.
+
+        The caller must balance every ``fix`` with an ``unfix``.  The
+        returned :class:`Page` object stays valid until the final unfix.
+        """
+        self.stats.fixes += 1
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            frame.referenced = True
+            if self.policy == "lru":
+                self._frames.move_to_end(page_id)
+        else:
+            self.stats.faults += 1
+            if page_id in self._ever_resident:
+                self.stats.re_reads += 1
+            self._ensure_room()
+            frame = _Frame(self._disk.read(page_id))
+            self._frames[page_id] = frame
+            self._ever_resident.add(page_id)
+        if frame.pin_count == 0:
+            self._pinned_count += 1
+        frame.pin_count += 1
+        return frame.page
+
+    def unfix(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin on ``page_id``; mark dirty if it was modified."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count == 0:
+            raise PinError(f"page {page_id} is not fixed")
+        frame.pin_count -= 1
+        if frame.pin_count == 0:
+            self._pinned_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    @contextmanager
+    def fixed(self, page_id: int, dirty: bool = False) -> Iterator[Page]:
+        """Context manager pairing :meth:`fix` and :meth:`unfix`."""
+        page = self.fix(page_id)
+        try:
+            yield page
+        finally:
+            self.unfix(page_id, dirty=dirty)
+
+    # -- write-back -----------------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Write every dirty frame back to disk (frames stay resident)."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self._disk.write(frame.page)
+                frame.dirty = False
+
+    def drop_clean(self) -> None:
+        """Flush, then drop every unpinned frame.
+
+        Benchmarks call this between the load and measure phases so
+        measurement starts from a cold buffer, as the paper's runs do.
+        """
+        self.flush_all()
+        for page_id in [
+            pid for pid, f in self._frames.items() if f.pin_count == 0
+        ]:
+            del self._frames[page_id]
+
+    def reset_stats(self) -> None:
+        """Zero the counters (resident pages are untouched)."""
+        self.stats = BufferStats()
+        self._ever_resident = set(self._frames)
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self._capacity is None else str(self._capacity)
+        return (
+            f"BufferManager(capacity={cap}, resident={len(self._frames)}, "
+            f"pinned={self.pinned_pages})"
+        )

@@ -1,0 +1,189 @@
+"""The simulated disk: the paper's performance model.
+
+Section 6 of the paper measures "average seek distance, in pages of
+size 1K bytes … total seek distance divided by the total number of
+reads", assuming "entire control over the queue of requests for the
+disk".  :class:`SimulatedDisk` is exactly that model: a linear array of
+pages with a head position; every read or write moves the head by
+``|target − position|`` pages and that distance is accounted.
+
+The disk also provides contiguous **extent** allocation, which the
+clustering layouts (Figures 8–10, 12) use to place clusters at chosen
+physical locations, including the sparse, shuffled cluster extents that
+make breadth-first scheduling pathological in Figure 11A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DiskError, ExtentError
+from repro.storage.page import PAGE_SIZE, Page
+
+
+@dataclass
+class DiskStats:
+    """Head-movement accounting, the paper's metric.
+
+    ``avg_seek_per_read`` is the figure plotted throughout Section 6.
+    Writes are tracked separately so database loading never pollutes
+    the read statistics (and callers reset stats after loading anyway).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    read_seek_total: int = 0
+    write_seek_total: int = 0
+    #: Per-read seek distances, kept for distribution-level assertions.
+    read_seeks: List[int] = field(default_factory=list, repr=False)
+
+    @property
+    def avg_seek_per_read(self) -> float:
+        """Average pages moved per read — the paper's y-axis."""
+        if self.reads == 0:
+            return 0.0
+        return self.read_seek_total / self.reads
+
+    def snapshot(self) -> "DiskStats":
+        """An independent copy (histories included)."""
+        return DiskStats(
+            reads=self.reads,
+            writes=self.writes,
+            read_seek_total=self.read_seek_total,
+            write_seek_total=self.write_seek_total,
+            read_seeks=list(self.read_seeks),
+        )
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of pages: ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """One past the last page id of the extent."""
+        return self.start + self.length
+
+    def __contains__(self, page_id: int) -> bool:
+        return self.start <= page_id < self.end
+
+    def page_at(self, index: int) -> int:
+        """Absolute page id of the ``index``-th page of the extent."""
+        if not 0 <= index < self.length:
+            raise ExtentError(
+                f"index {index} outside extent of {self.length} pages"
+            )
+        return self.start + index
+
+
+class SimulatedDisk:
+    """A dedicated single-head disk with per-access seek accounting.
+
+    Pages materialize lazily: reading a never-written page returns a
+    fresh empty page.  The head starts at page 0.  The experiments own
+    the device exclusively, as the paper assumes, so there is no
+    request interleaving to model — the *caller* (the assembly
+    operator's scheduler) decides the access order, and the disk simply
+    charges the distance.
+    """
+
+    def __init__(self, n_pages: Optional[int] = None) -> None:
+        """``n_pages`` bounds the address space; ``None`` means unbounded."""
+        if n_pages is not None and n_pages <= 0:
+            raise DiskError("disk must have at least one page")
+        self._limit = n_pages
+        self._pages: Dict[int, bytes] = {}
+        self._next_free = 0
+        self._head = 0
+        self.stats = DiskStats()
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per page (always :data:`PAGE_SIZE`)."""
+        return PAGE_SIZE
+
+    @property
+    def head_position(self) -> int:
+        """Current head position in pages — elevator scheduling input."""
+        return self._head
+
+    @property
+    def allocated_pages(self) -> int:
+        """Pages handed out through :meth:`allocate` so far."""
+        return self._next_free
+
+    def _check(self, page_id: int) -> None:
+        if page_id < 0:
+            raise DiskError(f"negative page id {page_id}")
+        if self._limit is not None and page_id >= self._limit:
+            raise DiskError(
+                f"page {page_id} beyond disk of {self._limit} pages"
+            )
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, n_pages: int) -> Extent:
+        """Reserve the next ``n_pages`` contiguous pages."""
+        if n_pages <= 0:
+            raise ExtentError("extent must contain at least one page")
+        start = self._next_free
+        end = start + n_pages
+        if self._limit is not None and end > self._limit:
+            raise ExtentError(
+                f"extent of {n_pages} pages exceeds disk of "
+                f"{self._limit} pages"
+            )
+        self._next_free = end
+        return Extent(start=start, length=n_pages)
+
+    # -- I/O ------------------------------------------------------------------
+
+    def _seek_to(self, page_id: int) -> int:
+        distance = abs(page_id - self._head)
+        self._head = page_id
+        return distance
+
+    def read(self, page_id: int) -> Page:
+        """Read a page, moving the head and charging the seek."""
+        self._check(page_id)
+        distance = self._seek_to(page_id)
+        self.stats.reads += 1
+        self.stats.read_seek_total += distance
+        self.stats.read_seeks.append(distance)
+        image = self._pages.get(page_id)
+        if image is None:
+            return Page(page_id)
+        return Page.from_bytes(page_id, image)
+
+    def write(self, page: Page) -> None:
+        """Write a page image back, moving the head."""
+        self._check(page.page_id)
+        distance = self._seek_to(page.page_id)
+        self.stats.writes += 1
+        self.stats.write_seek_total += distance
+        self._pages[page.page_id] = page.to_bytes()
+
+    # -- statistics -------------------------------------------------------------
+
+    def reset_stats(self, head_to_zero: bool = True) -> None:
+        """Forget all accounting; optionally park the head at page 0.
+
+        Benchmarks call this between database loading and measurement,
+        mirroring the paper's separation of load and query phases.
+        """
+        self.stats = DiskStats()
+        if head_to_zero:
+            self._head = 0
+
+    def __repr__(self) -> str:
+        limit = "unbounded" if self._limit is None else str(self._limit)
+        return (
+            f"SimulatedDisk(pages={limit}, allocated={self._next_free}, "
+            f"head={self._head})"
+        )

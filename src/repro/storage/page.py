@@ -1,0 +1,197 @@
+"""Slotted 1 KB pages.
+
+The paper's experiments use pages "of size 1K bytes" holding nine
+96-byte objects each.  A :class:`Page` is a classic slotted page:
+
+* an 8-byte header — page id (4), slot count (2), free-space offset (2),
+* record bytes growing upward from the header,
+* a slot directory (4 bytes per slot: offset, length) growing downward
+  from the page end.
+
+Stored objects carry a 10-byte OID prefix (see
+:mod:`repro.storage.store`), so one object costs 10 + 96 = 106 payload
+bytes plus a 4-byte slot: nine objects fit in a 1 KB page and a tenth
+does not — exactly the paper's packing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import BadSlotError, PageError, PageFullError
+
+#: Page size in bytes (paper: 1 KB pages).
+PAGE_SIZE = 1024
+#: Bytes of page header: page_id (uint32), slot_count (uint16), free_offset (uint16).
+PAGE_HEADER_SIZE = 8
+#: Bytes per slot-directory entry: offset (uint16), length (uint16).
+SLOT_SIZE = 4
+
+_HEADER = struct.Struct(">IHH")
+_SLOT = struct.Struct(">HH")
+
+
+class Page:
+    """A fixed-size slotted page of records.
+
+    Records are addressed by slot number.  Deleting a record leaves a
+    tombstone slot (length 0); slot numbers of live records never
+    change, so RIDs stay valid.
+    """
+
+    def __init__(self, page_id: int, data: Optional[bytes] = None) -> None:
+        if data is None:
+            self._buf = bytearray(PAGE_SIZE)
+            self.page_id = page_id
+            self._slot_count = 0
+            self._free_offset = PAGE_HEADER_SIZE
+            self._write_header()
+        else:
+            if len(data) != PAGE_SIZE:
+                raise PageError(
+                    f"page image must be {PAGE_SIZE} bytes, got {len(data)}"
+                )
+            self._buf = bytearray(data)
+            stored_id, self._slot_count, self._free_offset = _HEADER.unpack(
+                self._buf[:PAGE_HEADER_SIZE]
+            )
+            self.page_id = stored_id
+            if page_id != stored_id:
+                raise PageError(
+                    f"page image says id {stored_id}, expected {page_id}"
+                )
+
+    # -- header helpers ----------------------------------------------------
+
+    def _write_header(self) -> None:
+        self._buf[:PAGE_HEADER_SIZE] = _HEADER.pack(
+            self.page_id, self._slot_count, self._free_offset
+        )
+
+    def _slot_pos(self, slot: int) -> int:
+        return PAGE_SIZE - (slot + 1) * SLOT_SIZE
+
+    def _read_slot(self, slot: int) -> Tuple[int, int]:
+        if not 0 <= slot < self._slot_count:
+            raise BadSlotError(
+                f"slot {slot} out of range on page {self.page_id}"
+            )
+        pos = self._slot_pos(slot)
+        return _SLOT.unpack(self._buf[pos : pos + SLOT_SIZE])
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        pos = self._slot_pos(slot)
+        self._buf[pos : pos + SLOT_SIZE] = _SLOT.pack(offset, length)
+
+    # -- public interface ---------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots, including tombstones."""
+        return self._slot_count
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot entry)."""
+        used_by_slots = self._slot_count * SLOT_SIZE
+        return PAGE_SIZE - used_by_slots - self._free_offset
+
+    def fits(self, length: int) -> bool:
+        """Would a record of ``length`` bytes fit (with a new slot entry)?"""
+        return length + SLOT_SIZE <= self.free_space
+
+    def insert(self, record: bytes) -> int:
+        """Append a record; return its slot number.
+
+        Raises :class:`PageFullError` when the record does not fit.
+        """
+        if not record:
+            raise PageError("cannot insert an empty record")
+        if not self.fits(len(record)):
+            raise PageFullError(
+                f"page {self.page_id}: {len(record)} bytes do not fit "
+                f"({self.free_space} free)"
+            )
+        offset = self._free_offset
+        self._buf[offset : offset + len(record)] = record
+        slot = self._slot_count
+        self._slot_count += 1
+        self._write_slot(slot, offset, len(record))
+        self._free_offset = offset + len(record)
+        self._write_header()
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Return the record stored in ``slot``.
+
+        Raises :class:`BadSlotError` for out-of-range or deleted slots.
+        """
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise BadSlotError(
+                f"slot {slot} on page {self.page_id} is deleted"
+            )
+        return bytes(self._buf[offset : offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone ``slot``.  The space is not compacted."""
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise BadSlotError(
+                f"slot {slot} on page {self.page_id} is already deleted"
+            )
+        self._write_slot(slot, offset, 0)
+
+    def update(self, slot: int, record: bytes) -> None:
+        """Overwrite ``slot`` in place.
+
+        Only same-length updates are supported; the experiments never
+        grow records, and fixed-size updates keep RIDs stable.
+        """
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise BadSlotError(
+                f"slot {slot} on page {self.page_id} is deleted"
+            )
+        if len(record) != length:
+            raise PageError(
+                f"update must keep length {length}, got {len(record)}"
+            )
+        self._buf[offset : offset + length] = record
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(slot, record)`` for every live record in slot order."""
+        for slot in range(self._slot_count):
+            offset, length = self._read_slot(slot)
+            if length:
+                yield slot, bytes(self._buf[offset : offset + length])
+
+    def live_count(self) -> int:
+        """Number of non-deleted records."""
+        return sum(1 for _ in self.records())
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full page image."""
+        return bytes(self._buf)
+
+    @classmethod
+    def from_bytes(cls, page_id: int, data: bytes) -> "Page":
+        """Deserialize a page image produced by :meth:`to_bytes`."""
+        return cls(page_id, data)
+
+    def __repr__(self) -> str:
+        return (
+            f"Page(id={self.page_id}, slots={self._slot_count}, "
+            f"free={self.free_space})"
+        )
+
+
+def records_per_page(record_size: int) -> int:
+    """How many fixed-size records fit in one page.
+
+    With the paper's 96-byte objects plus the 10-byte stored-OID prefix
+    this returns 9, matching Section 6.
+    """
+    usable = PAGE_SIZE - PAGE_HEADER_SIZE
+    return usable // (record_size + SLOT_SIZE)

@@ -1,0 +1,123 @@
+"""Record codec for storage-layer objects.
+
+Section 6 of the paper fixes the benchmark object layout:
+
+    "Each object consists of 4 integer and 8 object reference fields
+     equaling 96 bytes, resulting in 9 objects per page."
+
+:class:`ObjectRecord` is that object: four signed 32-bit integers plus
+eight 10-byte OIDs = 96 bytes of payload.  When stored, a record is
+prefixed with its own OID (see :mod:`repro.storage.store`), which is how
+scans recover object identity.
+
+The codec is parameterized (``n_ints``, ``n_refs``) so the same record
+machinery also serves the Person/Residence example dataset and the
+workload generators; the defaults are the paper's geometry.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import RecordError
+from repro.storage.oid import NULL_OID, OID_SIZE, Oid
+
+#: Paper geometry: integer fields per object.
+DEFAULT_N_INTS = 4
+#: Paper geometry: reference fields per object.
+DEFAULT_N_REFS = 8
+#: Paper geometry: total payload bytes (4*4 + 8*10 = 96).
+OBJECT_PAYLOAD_SIZE = DEFAULT_N_INTS * 4 + DEFAULT_N_REFS * OID_SIZE
+
+
+@dataclass(frozen=True)
+class RecordFormat:
+    """Fixed layout of a stored object: ``n_ints`` int32s + ``n_refs`` OIDs."""
+
+    n_ints: int = DEFAULT_N_INTS
+    n_refs: int = DEFAULT_N_REFS
+
+    def __post_init__(self) -> None:
+        if self.n_ints < 0 or self.n_refs < 0:
+            raise RecordError("record format counts must be non-negative")
+
+    @property
+    def payload_size(self) -> int:
+        """Encoded size in bytes."""
+        return self.n_ints * 4 + self.n_refs * OID_SIZE
+
+    def _int_struct(self) -> struct.Struct:
+        return struct.Struct(f">{self.n_ints}i")
+
+    def encode(self, ints: Sequence[int], refs: Sequence[Oid]) -> bytes:
+        """Encode field values into ``payload_size`` bytes."""
+        if len(ints) != self.n_ints:
+            raise RecordError(
+                f"expected {self.n_ints} ints, got {len(ints)}"
+            )
+        if len(refs) != self.n_refs:
+            raise RecordError(
+                f"expected {self.n_refs} refs, got {len(refs)}"
+            )
+        try:
+            head = self._int_struct().pack(*ints)
+        except struct.error as exc:
+            raise RecordError(f"integer field out of range: {exc}") from exc
+        return head + b"".join(ref.encode() for ref in refs)
+
+    def decode(self, data: bytes) -> Tuple[Tuple[int, ...], Tuple[Oid, ...]]:
+        """Decode ``payload_size`` bytes into ``(ints, refs)`` tuples."""
+        if len(data) != self.payload_size:
+            raise RecordError(
+                f"payload must be {self.payload_size} bytes, got {len(data)}"
+            )
+        int_end = self.n_ints * 4
+        ints = self._int_struct().unpack(data[:int_end])
+        refs: List[Oid] = []
+        for i in range(self.n_refs):
+            start = int_end + i * OID_SIZE
+            refs.append(Oid.decode(data[start : start + OID_SIZE]))
+        return ints, tuple(refs)
+
+
+#: The paper's 96-byte object format.
+PAPER_FORMAT = RecordFormat()
+
+
+@dataclass
+class ObjectRecord:
+    """A decoded storage-layer object: integers plus object references.
+
+    ``refs`` is always exactly ``fmt.n_refs`` long; unused reference
+    slots hold :data:`NULL_OID`.
+    """
+
+    ints: List[int] = field(default_factory=lambda: [0] * DEFAULT_N_INTS)
+    refs: List[Oid] = field(default_factory=lambda: [NULL_OID] * DEFAULT_N_REFS)
+    fmt: RecordFormat = PAPER_FORMAT
+
+    def __post_init__(self) -> None:
+        if len(self.ints) != self.fmt.n_ints:
+            raise RecordError(
+                f"record needs {self.fmt.n_ints} ints, got {len(self.ints)}"
+            )
+        if len(self.refs) != self.fmt.n_refs:
+            raise RecordError(
+                f"record needs {self.fmt.n_refs} refs, got {len(self.refs)}"
+            )
+
+    def encode(self) -> bytes:
+        """Serialize the payload (no OID prefix)."""
+        return self.fmt.encode(self.ints, self.refs)
+
+    @classmethod
+    def decode(cls, data: bytes, fmt: RecordFormat = PAPER_FORMAT) -> "ObjectRecord":
+        """Deserialize a payload produced by :meth:`encode`."""
+        ints, refs = fmt.decode(data)
+        return cls(ints=list(ints), refs=list(refs), fmt=fmt)
+
+    def live_refs(self) -> List[Oid]:
+        """The non-null references, in slot order."""
+        return [ref for ref in self.refs if not ref.is_null()]

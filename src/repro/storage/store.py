@@ -1,0 +1,248 @@
+"""OID-addressed object storage with explicit physical placement.
+
+The clustering layouts of Figures 8–10 need to decide *which page* each
+storage-layer object lands on; the assembly operator then fetches
+objects by OID through the buffer manager.  :class:`ObjectStore` is the
+meeting point: a layout writes objects to chosen pages, the store
+registers OID → RID in the :class:`~repro.storage.oid.OidDirectory`,
+and fetches go page-at-a-time through the buffer so every access is
+charged a seek by the simulated disk.
+
+Stored form of an object: 10-byte OID prefix + fixed-size payload.
+With the paper's 96-byte payload this packs nine objects per 1 KB page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    DuplicateOidError,
+    PageFullError,
+    RecordError,
+    StorageError,
+)
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import Extent, SimulatedDisk
+from repro.storage.oid import OID_SIZE, Oid, OidDirectory, Rid
+from repro.storage.page import Page
+from repro.storage.record import PAPER_FORMAT, ObjectRecord, RecordFormat
+
+
+class ObjectStore:
+    """Objects addressable by OID, placed on explicit pages.
+
+    The store does not own an extent: layouts allocate extents from the
+    disk and then direct each object to a page.  ``bulk`` loading goes
+    straight to the disk (it is the load phase, outside measurement);
+    fetches go through the buffer manager so the measured phase sees
+    buffer hits, faults, and seeks.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        buffer: Optional[BufferManager] = None,
+        fmt: RecordFormat = PAPER_FORMAT,
+    ) -> None:
+        self._disk = disk
+        self.buffer = buffer if buffer is not None else BufferManager(disk)
+        self.fmt = fmt
+        self.directory = OidDirectory()
+        self._stored_size = OID_SIZE + fmt.payload_size
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The underlying simulated disk."""
+        return self._disk
+
+    @property
+    def stored_record_size(self) -> int:
+        """Bytes one object occupies in a page (OID prefix + payload)."""
+        return self._stored_size
+
+    def objects_per_page(self) -> int:
+        """How many objects fit on one page (9 for the paper geometry)."""
+        probe = Page(0)
+        count = 0
+        while probe.fits(self._stored_size):
+            probe.insert(b"\x00" * self._stored_size)
+            count += 1
+        return count
+
+    # -- loading (unmeasured phase) ------------------------------------------------
+
+    def store_at(self, oid: Oid, record: ObjectRecord, page_id: int) -> Rid:
+        """Place ``record`` under ``oid`` on page ``page_id``.
+
+        Used by clustering layouts during the load phase: the write
+        goes directly to disk, bypassing the buffer, and the OID
+        directory learns the physical address.  Raises
+        :class:`PageFullError` when the page already holds a full
+        complement of objects.
+        """
+        if oid in self.directory:
+            raise DuplicateOidError(f"{oid} already stored")
+        if record.fmt != self.fmt:
+            raise RecordError("record format does not match store format")
+        page = self._disk.read(page_id)
+        stored = oid.encode() + record.encode()
+        try:
+            slot = page.insert(stored)
+        except PageFullError:
+            raise PageFullError(
+                f"page {page_id} cannot hold another object"
+            ) from None
+        self._disk.write(page)
+        rid = Rid(page_id, slot)
+        self.directory.register(oid, rid)
+        return rid
+
+    def store_page(
+        self, page_id: int, items: "List[Tuple[Oid, ObjectRecord]]"
+    ) -> List[Rid]:
+        """Place a whole page's objects in one write (bulk load path).
+
+        Behaves like repeated :meth:`store_at` for a page that is still
+        empty; the page is built in memory and written once, which is
+        what makes laying out multi-thousand-object databases cheap.
+        """
+        page = self._disk.read(page_id)
+        rids: List[Rid] = []
+        for oid, record in items:
+            if oid in self.directory:
+                raise DuplicateOidError(f"{oid} already stored")
+            if record.fmt != self.fmt:
+                raise RecordError("record format does not match store format")
+            stored = oid.encode() + record.encode()
+            slot = page.insert(stored)
+            rids.append(Rid(page_id, slot))
+        self._disk.write(page)
+        for (oid, _record), rid in zip(items, rids):
+            self.directory.register(oid, rid)
+        return rids
+
+    # -- fetching (measured phase) ----------------------------------------------------
+
+    def page_of(self, oid: Oid) -> int:
+        """Physical page of ``oid`` — the elevator scheduler's sort key."""
+        return self.directory.page_of(oid)
+
+    def _decode_stored(self, stored: bytes) -> Tuple[Oid, ObjectRecord]:
+        oid = Oid.decode(stored[:OID_SIZE])
+        record = ObjectRecord.decode(stored[OID_SIZE:], self.fmt)
+        return oid, record
+
+    def fetch(self, oid: Oid) -> ObjectRecord:
+        """Read one object through the buffer (fix, copy, unfix)."""
+        rid = self.directory.lookup(oid)
+        with self.buffer.fixed(rid.page_id) as page:
+            stored = page.read(rid.slot)
+        stored_oid, record = self._decode_stored(stored)
+        if stored_oid != oid:
+            raise StorageError(
+                f"directory said {oid} at {rid}, page holds {stored_oid}"
+            )
+        return record
+
+    def fetch_pinned(self, oid: Oid) -> ObjectRecord:
+        """Read one object and leave its page pinned.
+
+        The assembly operator uses this form: the page stays fixed
+        until the owning complex object is emitted (or aborted), which
+        is how partially assembled objects are guaranteed resident.
+        Callers must balance with :meth:`unpin`.
+        """
+        rid = self.directory.lookup(oid)
+        page = self.buffer.fix(rid.page_id)
+        stored = page.read(rid.slot)
+        stored_oid, record = self._decode_stored(stored)
+        if stored_oid != oid:
+            self.buffer.unfix(rid.page_id)
+            raise StorageError(
+                f"directory said {oid} at {rid}, page holds {stored_oid}"
+            )
+        return record
+
+    def unpin(self, oid: Oid) -> None:
+        """Release the pin taken by :meth:`fetch_pinned`."""
+        rid = self.directory.lookup(oid)
+        self.buffer.unfix(rid.page_id)
+
+    # -- scanning -------------------------------------------------------------------------
+
+    def scan_extent(self, extent: Extent) -> Iterator[Tuple[Oid, ObjectRecord]]:
+        """Yield every object in an extent in physical order (via buffer)."""
+        for page_id in range(extent.start, extent.end):
+            with self.buffer.fixed(page_id) as page:
+                stored_records = [rec for _slot, rec in page.records()]
+            for stored in stored_records:
+                yield self._decode_stored(stored)
+
+    def __len__(self) -> int:
+        return len(self.directory)
+
+
+class PagePlanner:
+    """Sequential page-filling helper for layouts.
+
+    Tracks how many objects each page already holds so layouts can pack
+    ``objects_per_page`` objects per page without reading pages back.
+    """
+
+    def __init__(self, store: ObjectStore, extent: Extent) -> None:
+        self._extent = extent
+        self._per_page = store.objects_per_page()
+        self._fill: Dict[int, int] = {}
+        self._cursor = 0  # first extent index that may have room
+
+    @property
+    def extent(self) -> Extent:
+        """The extent this planner fills."""
+        return self._extent
+
+    @property
+    def objects_per_page(self) -> int:
+        """Packing factor used by the planner."""
+        return self._per_page
+
+    def capacity(self) -> int:
+        """Total objects the extent can hold."""
+        return self._extent.length * self._per_page
+
+    def slots_in_order(self) -> List[int]:
+        """Page ids repeated once per free object slot, physical order."""
+        pages: List[int] = []
+        for index in range(self._extent.length):
+            page_id = self._extent.page_at(index)
+            free = self._per_page - self._fill.get(page_id, 0)
+            pages.extend([page_id] * free)
+        return pages
+
+    def claim(self, page_id: int) -> int:
+        """Reserve one object slot on ``page_id``; returns slots used so far."""
+        if page_id not in self._extent:
+            raise StorageError(
+                f"page {page_id} outside extent {self._extent}"
+            )
+        used = self._fill.get(page_id, 0)
+        if used >= self._per_page:
+            raise PageFullError(f"page {page_id} already fully planned")
+        self._fill[page_id] = used + 1
+        return used + 1
+
+    def next_sequential(self) -> int:
+        """Page id of the next free slot in physical order.
+
+        Amortized O(1): the cursor never moves backwards, and pages
+        claimed out of order (via :meth:`claim` on arbitrary pages) are
+        simply skipped when the cursor reaches them.
+        """
+        while self._cursor < self._extent.length:
+            page_id = self._extent.page_at(self._cursor)
+            if self._fill.get(page_id, 0) < self._per_page:
+                return page_id
+            self._cursor += 1
+        raise PageFullError(f"extent {self._extent} is fully planned")

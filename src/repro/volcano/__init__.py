@@ -1,0 +1,60 @@
+"""Volcano-style query engine: uniform open/next/close iterators.
+
+This package is the "set processor" of the paper's Figure 1 — the
+physical-algebra layer the assembly operator plugs into.
+"""
+
+from repro.volcano.aggregate import HashAggregate, count_aggregate, sum_aggregate
+from repro.volcano.exchange import Partition, PartitionedExecute
+from repro.volcano.filters import Distinct, Filter, Limit, Project
+from repro.volcano.iterator import (
+    GeneratorSource,
+    ListSource,
+    Row,
+    VolcanoIterator,
+)
+from repro.volcano.joins import (
+    HashJoin,
+    NestedLoopsJoin,
+    OneToOneMatch,
+    PointerJoin,
+)
+from repro.volcano.mergejoin import MergeJoin
+from repro.volcano.plan import (
+    collect_operators,
+    explain,
+    validate_plan,
+    walk_plan,
+)
+from repro.volcano.scan import FileScan, IndexScan, StoreScan, TidScan
+from repro.volcano.sort import ExternalSort
+
+__all__ = [
+    "Distinct",
+    "ExternalSort",
+    "FileScan",
+    "Filter",
+    "GeneratorSource",
+    "HashAggregate",
+    "HashJoin",
+    "IndexScan",
+    "Limit",
+    "ListSource",
+    "MergeJoin",
+    "NestedLoopsJoin",
+    "OneToOneMatch",
+    "Partition",
+    "PartitionedExecute",
+    "PointerJoin",
+    "Project",
+    "Row",
+    "StoreScan",
+    "TidScan",
+    "VolcanoIterator",
+    "collect_operators",
+    "count_aggregate",
+    "explain",
+    "sum_aggregate",
+    "validate_plan",
+    "walk_plan",
+]

@@ -1,0 +1,90 @@
+"""Grouping and aggregation.
+
+A small hash aggregation operator in the Volcano mould: the child is
+consumed at ``open``, groups accumulate via an init/step/final triple
+(the shape Volcano's aggregation module used), and results stream out
+group by group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.volcano.iterator import Row, VolcanoIterator
+
+
+class HashAggregate(VolcanoIterator):
+    """Group rows by ``group_key`` and fold each group.
+
+    * ``init()`` creates a fresh accumulator,
+    * ``step(acc, row)`` returns the updated accumulator,
+    * ``final(key, acc)`` shapes the output row.
+    """
+
+    def __init__(
+        self,
+        child: VolcanoIterator,
+        group_key: Callable[[Row], object],
+        init: Callable[[], object],
+        step: Callable[[object, Row], object],
+        final: Callable[[object, object], Row] = lambda key, acc: (key, acc),
+    ) -> None:
+        super().__init__()
+        self._child = child
+        self._group_key = group_key
+        self._init = init
+        self._step = step
+        self._final = final
+        self._results: List[Row] = []
+        self._pos = 0
+
+    def _open(self) -> None:
+        groups: Dict[object, object] = {}
+        self._child.open()
+        while True:
+            row = self._child.next()
+            if row is None:
+                break
+            key = self._group_key(row)
+            if key not in groups:
+                groups[key] = self._init()
+            groups[key] = self._step(groups[key], row)
+        self._child.close()
+        self._results = [self._final(k, acc) for k, acc in groups.items()]
+        self._pos = 0
+
+    def _next(self) -> Optional[Row]:
+        if self._pos >= len(self._results):
+            return None
+        row = self._results[self._pos]
+        self._pos += 1
+        return row
+
+    def _close(self) -> None:
+        self._results = []
+
+
+def count_aggregate(
+    child: VolcanoIterator, group_key: Callable[[Row], object]
+) -> HashAggregate:
+    """Convenience: ``(key, count)`` per group."""
+    return HashAggregate(
+        child,
+        group_key,
+        init=lambda: 0,
+        step=lambda acc, _row: acc + 1,
+    )
+
+
+def sum_aggregate(
+    child: VolcanoIterator,
+    group_key: Callable[[Row], object],
+    value: Callable[[Row], float],
+) -> HashAggregate:
+    """Convenience: ``(key, sum_of_value)`` per group."""
+    return HashAggregate(
+        child,
+        group_key,
+        init=lambda: 0,
+        step=lambda acc, row: acc + value(row),
+    )

@@ -1,0 +1,125 @@
+"""Partitioning (exchange-style) operators.
+
+"Since parallelism is encapsulated in Volcano [the exchange operator],
+it can be used for all existing operators without changing their code"
+(paper, Section 7).  True multi-process parallelism is out of scope for
+a deterministic simulation — and the paper itself runs "in
+single-process mode with parallelism … disabled" — but the *structural*
+role of exchange matters for the future-work discussion: partitioned
+assembly introduces shared-component synchronization between
+partitions (Section 5, reason three).
+
+:class:`PartitionedExecute` therefore reproduces exchange's plan shape:
+it splits an input into ``n`` partitions, runs a plan fragment over
+each partition *serially*, and interleaves their outputs in demand
+order.  Benchmarks use it to demonstrate why independent per-partition
+elevator queues break the exclusive-device assumption (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import PlanError
+from repro.volcano.iterator import ListSource, Row, VolcanoIterator
+
+
+class Partition(VolcanoIterator):
+    """Materialize the child and expose one round-robin partition."""
+
+    def __init__(
+        self, child: VolcanoIterator, n_partitions: int, index: int
+    ) -> None:
+        super().__init__()
+        if n_partitions <= 0:
+            raise PlanError("n_partitions must be positive")
+        if not 0 <= index < n_partitions:
+            raise PlanError(f"partition index {index} out of range")
+        self._child = child
+        self._n = n_partitions
+        self._index = index
+        self._rows: List[Row] = []
+        self._pos = 0
+
+    def _open(self) -> None:
+        self._child.open()
+        self._rows = []
+        position = 0
+        while True:
+            row = self._child.next()
+            if row is None:
+                break
+            if position % self._n == self._index:
+                self._rows.append(row)
+            position += 1
+        self._child.close()
+        self._pos = 0
+
+    def _next(self) -> Optional[Row]:
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def _close(self) -> None:
+        self._rows = []
+
+
+class PartitionedExecute(VolcanoIterator):
+    """Run a plan fragment per round-robin partition; merge demand-driven.
+
+    ``fragment(source)`` builds the per-partition plan over a
+    :class:`ListSource` of that partition's rows.  Partitions execute
+    serially but their outputs interleave round-robin, which is how
+    exchange's merge side appears to its consumer.
+    """
+
+    def __init__(
+        self,
+        rows: List[Row],
+        n_partitions: int,
+        fragment: Callable[[VolcanoIterator], VolcanoIterator],
+    ) -> None:
+        super().__init__()
+        if n_partitions <= 0:
+            raise PlanError("n_partitions must be positive")
+        self._input_rows = list(rows)
+        self._n = n_partitions
+        self._fragment = fragment
+        self._plans: List[VolcanoIterator] = []
+        self._alive: List[bool] = []
+        self._turn = 0
+
+    def _open(self) -> None:
+        partitions: List[List[Row]] = [[] for _ in range(self._n)]
+        for position, row in enumerate(self._input_rows):
+            partitions[position % self._n].append(row)
+        self._plans = [
+            self._fragment(ListSource(part)) for part in partitions
+        ]
+        for plan in self._plans:
+            plan.open()
+        self._alive = [True] * self._n
+        self._turn = 0
+
+    def _next(self) -> Optional[Row]:
+        remaining = sum(self._alive)
+        while remaining:
+            index = self._turn % self._n
+            self._turn += 1
+            if not self._alive[index]:
+                continue
+            row = self._plans[index].next()
+            if row is None:
+                self._alive[index] = False
+                remaining -= 1
+                continue
+            return row
+        return None
+
+    def _close(self) -> None:
+        for plan, alive in zip(self._plans, self._alive):
+            if plan.is_open:
+                plan.close()
+        self._plans = []

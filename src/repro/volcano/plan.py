@@ -1,0 +1,110 @@
+"""Query-plan utilities: explain trees and plan validation.
+
+Volcano plans are plain Python object trees — each operator holds its
+inputs in attributes.  :func:`explain` renders such a tree the way
+database EXPLAIN output does, discovering child operators by
+introspection so no operator needs to cooperate; operators *may*
+implement ``describe()`` to add detail to their line.
+
+:func:`collect_operators` and :func:`validate_plan` support tests and
+tooling: the former flattens a plan, the latter catches the classic
+plan-building mistake of wiring one operator instance into two places
+(its open/next/close state cannot serve two consumers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import PlanError
+from repro.volcano.iterator import VolcanoIterator
+
+
+def child_operators(operator: VolcanoIterator) -> List[VolcanoIterator]:
+    """The operator's direct inputs, found by attribute introspection.
+
+    Attributes holding a :class:`VolcanoIterator` (or a list/tuple of
+    them) are considered inputs, in attribute definition order.
+    """
+    children: List[VolcanoIterator] = []
+    for name, value in vars(operator).items():
+        if name.startswith("__"):
+            continue
+        if isinstance(value, VolcanoIterator):
+            children.append(value)
+        elif isinstance(value, (list, tuple)):
+            children.extend(
+                item for item in value if isinstance(item, VolcanoIterator)
+            )
+    return children
+
+
+def describe_operator(operator: VolcanoIterator) -> str:
+    """One-line description: ``describe()`` if provided, else the class."""
+    describe = getattr(operator, "describe", None)
+    if callable(describe):
+        return str(describe())
+    return type(operator).__name__
+
+
+#: Plans deeper than this are assumed cyclic (an operator reachable
+#: from itself) rather than genuinely that tall.
+MAX_PLAN_DEPTH = 64
+
+
+def walk_plan(
+    plan: VolcanoIterator, depth: int = 0
+) -> Iterator[Tuple[int, VolcanoIterator]]:
+    """Yield ``(depth, operator)`` pairs in pre-order.
+
+    Raises :class:`PlanError` past :data:`MAX_PLAN_DEPTH` so a cyclic
+    plan fails loudly instead of recursing forever.
+    """
+    if depth > MAX_PLAN_DEPTH:
+        raise PlanError(
+            f"plan deeper than {MAX_PLAN_DEPTH} operators; "
+            f"is an operator its own input?"
+        )
+    yield depth, plan
+    for child in child_operators(plan):
+        yield from walk_plan(child, depth + 1)
+
+
+def collect_operators(plan: VolcanoIterator) -> List[VolcanoIterator]:
+    """Every operator of the plan, pre-order."""
+    return [operator for _depth, operator in walk_plan(plan)]
+
+
+def explain(plan: VolcanoIterator) -> str:
+    """Render the plan as an indented operator tree.
+
+    Example output::
+
+        Filter
+          Assembly
+            ListSource
+    """
+    lines = [
+        f"{'  ' * depth}{describe_operator(operator)}"
+        for depth, operator in walk_plan(plan)
+    ]
+    return "\n".join(lines)
+
+
+def validate_plan(plan: VolcanoIterator) -> None:
+    """Reject plans that share one operator instance between consumers.
+
+    A Volcano iterator is a stateful cursor; feeding the same instance
+    to two parents produces interleaved, meaningless streams.  Raises
+    :class:`PlanError` naming the duplicated operator.
+    """
+    seen = {}
+    for _depth, operator in walk_plan(plan):
+        key = id(operator)
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] > 1:
+            raise PlanError(
+                f"operator {describe_operator(operator)} appears "
+                f"{seen[key]} times in the plan; each consumer needs "
+                f"its own instance"
+            )

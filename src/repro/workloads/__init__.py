@@ -1,0 +1,57 @@
+"""Workload generators: the paper's benchmark DB and the Section 4 example."""
+
+from repro.workloads.acob import (
+    ACOBDatabase,
+    PAYLOAD_RANGE,
+    generate_acob,
+    make_registry,
+    make_template,
+    payload_predicate,
+)
+from repro.workloads.bom import (
+    BomDatabase,
+    bom_template,
+    generate_bom,
+    rolled_up_cost,
+)
+from repro.workloads.hypermodel import (
+    HyperModelDatabase,
+    generate_hypermodel,
+    hypermodel_template,
+)
+from repro.workloads.person import (
+    PersonDatabase,
+    generate_people,
+    lives_close_to_father,
+    person_template,
+)
+from repro.workloads.sharing import (
+    SharingProfile,
+    expected_fetches_with_sharing,
+    expected_fetches_without_sharing,
+    measure_sharing,
+)
+
+__all__ = [
+    "ACOBDatabase",
+    "BomDatabase",
+    "HyperModelDatabase",
+    "bom_template",
+    "generate_bom",
+    "rolled_up_cost",
+    "PAYLOAD_RANGE",
+    "PersonDatabase",
+    "generate_hypermodel",
+    "hypermodel_template",
+    "SharingProfile",
+    "expected_fetches_with_sharing",
+    "expected_fetches_without_sharing",
+    "generate_acob",
+    "generate_people",
+    "lives_close_to_father",
+    "make_registry",
+    "make_template",
+    "measure_sharing",
+    "payload_predicate",
+    "person_template",
+]

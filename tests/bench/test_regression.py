@@ -1,0 +1,93 @@
+"""Tests for benchmark regression comparison."""
+
+from repro.bench.export import figure_to_dict, write_json
+from repro.bench.regression import compare_documents, compare_files
+from repro.bench.report import FigureResult
+
+
+def make_document(y=43.4, violation=False, figure_id="Figure 13A"):
+    figure = FigureResult(
+        figure_id=figure_id,
+        title="demo",
+        x_label="complex objects",
+        y_label="avg seek",
+    )
+    figure.add_point("elevator", 1000, y)
+    figure.add_point("depth-first", 1000, 1127.5)
+    figure.check("elevator smallest", not violation)
+    return {"figures": [figure_to_dict(figure)], "violations_total": 0}
+
+
+class TestCompare:
+    def test_identical_runs_are_clean(self):
+        report = compare_documents(make_document(), make_document())
+        assert report.clean
+        assert "no regressions" in report.describe()
+
+    def test_small_drift_within_tolerance(self):
+        report = compare_documents(
+            make_document(y=43.4), make_document(y=44.0), tolerance=0.05
+        )
+        assert report.clean
+
+    def test_large_drift_flagged(self):
+        report = compare_documents(
+            make_document(y=43.4), make_document(y=95.0), tolerance=0.05
+        )
+        assert not report.clean
+        assert any("elevator" in p for p in report.drifted_points)
+        assert "43.4 -> 95.0" in report.describe()
+
+    def test_regressed_check_flagged(self):
+        report = compare_documents(
+            make_document(violation=False), make_document(violation=True)
+        )
+        assert report.regressed_checks == [
+            "Figure 13A: elevator smallest"
+        ]
+
+    def test_missing_and_new_figures(self):
+        report = compare_documents(
+            make_document(figure_id="Figure 11A"),
+            make_document(figure_id="Figure 13A"),
+        )
+        assert report.missing_figures == ["Figure 11A"]
+        assert report.new_figures == ["Figure 13A"]
+
+    def test_missing_series(self):
+        current = make_document()
+        del current["figures"][0]["series"]["depth-first"]
+        report = compare_documents(make_document(), current)
+        assert report.missing_series == ["Figure 13A / depth-first"]
+
+    def test_missing_point(self):
+        current = make_document()
+        current["figures"][0]["series"]["elevator"] = [[2000, 71.4]]
+        report = compare_documents(make_document(), current)
+        assert any("point removed" in p for p in report.drifted_points)
+
+
+class TestFiles:
+    def test_compare_files_roundtrip(self, tmp_path):
+        figure = FigureResult(
+            figure_id="F", title="t", x_label="x", y_label="y"
+        )
+        figure.add_point("s", 1, 2.0)
+        base = write_json([figure], tmp_path / "base.json")
+        figure.series["s"][0] = (1, 4.0)
+        curr = write_json([figure], tmp_path / "curr.json")
+        report = compare_files(base, curr)
+        assert not report.clean
+
+
+class TestEndToEnd:
+    def test_rerun_of_deterministic_figure_is_clean(self, tmp_path):
+        from repro.bench.figures import ablation_scheduler_overhead
+
+        first = ablation_scheduler_overhead(db_size=60, window=6)
+        second = ablation_scheduler_overhead(db_size=60, window=6)
+        report = compare_documents(
+            {"figures": [figure_to_dict(first)]},
+            {"figures": [figure_to_dict(second)]},
+        )
+        assert report.clean

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.layout import LayoutResult, layout_database
+from repro.cluster.policies import InterObjectClustering
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+from repro.storage.store import ObjectStore
+from repro.workloads.acob import ACOBDatabase, generate_acob
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    """A fresh unbounded simulated disk."""
+    return SimulatedDisk()
+
+
+@pytest.fixture
+def store(disk: SimulatedDisk) -> ObjectStore:
+    """An object store with an unbounded buffer over ``disk``."""
+    return ObjectStore(disk, BufferManager(disk))
+
+
+@pytest.fixture
+def small_acob() -> ACOBDatabase:
+    """A 30-complex-object benchmark database (deterministic)."""
+    return generate_acob(30, seed=3)
+
+
+@pytest.fixture
+def small_layout(small_acob: ACOBDatabase, store: ObjectStore) -> LayoutResult:
+    """The small database laid out inter-object on the store."""
+    policy = InterObjectClustering(
+        cluster_pages=8, disk_order=small_acob.type_ids_depth_first()
+    )
+    return layout_database(
+        small_acob.complex_objects,
+        store,
+        policy,
+        shared=small_acob.shared_pool,
+        seed=1,
+    )

@@ -1,0 +1,72 @@
+"""Tests for the C-SCAN scheduler."""
+
+import pytest
+
+from repro.core.schedulers import CScanScheduler, make_scheduler
+from repro.errors import SchedulerError
+
+from tests.core.test_schedulers import drain, ref
+
+
+class TestCScan:
+    def test_sweeps_upward(self):
+        head = [5]
+        s = CScanScheduler(head_fn=lambda: head[0])
+        for serial, page in ((1, 2), (2, 7), (3, 9)):
+            s.add(ref(serial, page=page))
+        assert s.pop().oid.serial == 2  # first page >= 5
+        head[0] = 7
+        assert s.pop().oid.serial == 3
+
+    def test_wraps_to_lowest_instead_of_reversing(self):
+        head = [10]
+        s = CScanScheduler(head_fn=lambda: head[0])
+        for serial, page in ((1, 2), (2, 8)):
+            s.add(ref(serial, page=page))
+        # Nothing at or above 10: wrap to the LOWEST page (2), not the
+        # nearest below (8) as the elevator would.
+        assert s.pop().oid.serial == 1
+
+    def test_same_page_prefers_higher_rejection(self):
+        s = CScanScheduler(head_fn=lambda: 0)
+        s.add(ref(1, page=3, rejection=0.1, seq=1))
+        s.add(ref(2, page=3, rejection=0.9, seq=2))
+        assert s.pop().oid.serial == 2
+
+    def test_remove_owner(self):
+        s = CScanScheduler()
+        s.add(ref(1, page=1, owner=0))
+        s.add(ref(2, page=2, owner=1))
+        s.remove_owner(0)
+        assert drain(s) == [2]
+
+    def test_empty_pop(self):
+        with pytest.raises(SchedulerError):
+            CScanScheduler().pop()
+
+    def test_registry(self):
+        head = [50]
+        s = make_scheduler("cscan", head_fn=lambda: head[0])
+        s.add(ref(1, page=10))
+        s.add(ref(2, page=60))
+        assert s.pop().oid.serial == 2  # upward from 50
+
+    def test_competitive_with_elevator_end_to_end(self):
+        """C-SCAN lands in the elevator's league on the main benchmark."""
+        from repro.bench.harness import ExperimentConfig, run_experiment
+
+        config = dict(
+            n_complex_objects=400,
+            clustering="inter-object",
+            window_size=40,
+            cluster_pages=64,
+        )
+        elevator = run_experiment(
+            ExperimentConfig(scheduler="elevator", **config)
+        )
+        cscan = run_experiment(ExperimentConfig(scheduler="cscan", **config))
+        depth_first = run_experiment(
+            ExperimentConfig(scheduler="depth-first", **config)
+        )
+        assert cscan.avg_seek < depth_first.avg_seek / 2
+        assert cscan.avg_seek < elevator.avg_seek * 3

@@ -1,0 +1,154 @@
+"""Failure-injection tests: how assembly fails when things are wrong.
+
+A production operator's error behaviour matters as much as its happy
+path: dangling references, templates that do not match the data,
+buffers too small for the window, and corrupted directories must fail
+loudly and leave the buffer pool clean.
+"""
+
+import pytest
+
+from repro.cluster.layout import layout_database
+from repro.cluster.policies import Unclustered
+from repro.core.assembly import Assembly
+from repro.core.template import Template, TemplateNode, binary_tree_template
+from repro.errors import (
+    AssemblyError,
+    BufferFullError,
+    StorageError,
+    UnknownOidError,
+)
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+from repro.storage.oid import Oid
+from repro.storage.store import ObjectStore
+from repro.volcano.iterator import ListSource
+from repro.workloads.acob import generate_acob, make_template
+
+
+def load(n=10, buffer_capacity=None, seed=5):
+    db = generate_acob(n, seed=seed)
+    disk = SimulatedDisk()
+    store = ObjectStore(disk, BufferManager(disk, capacity=buffer_capacity))
+    layout = layout_database(
+        db.complex_objects, store, Unclustered(), validate=False
+    )
+    return db, store, layout
+
+
+class TestDanglingReferences:
+    def test_unknown_root_oid(self):
+        db, store, layout = load()
+        ghost = Oid(1, 99999)
+        op = Assembly(ListSource([ghost]), store, make_template(db))
+        with pytest.raises(UnknownOidError):
+            op.execute()
+
+    def test_dangling_child_reference(self):
+        """A stored reference to a never-stored OID fails at fetch."""
+        db, store, layout = load()
+        # Corrupt: repoint a root's left child to a ghost.
+        root_oid = layout.roots[0]
+        record = store.fetch(root_oid)
+        record.refs[0] = Oid(2, 88888)
+        rid = store.directory.lookup(root_oid)
+        with store.buffer.fixed(rid.page_id, dirty=True) as page:
+            page.update(rid.slot, root_oid.encode() + record.encode())
+        store.buffer.flush_all()
+        op = Assembly(
+            ListSource([root_oid]), store, make_template(db), window_size=1,
+            scheduler="depth-first",
+        )
+        with pytest.raises(UnknownOidError):
+            op.execute()
+
+
+class TestTemplateMismatch:
+    def test_template_deeper_than_data_is_fine(self):
+        """Null slots end recursion early: shallow data is legal."""
+        db, store, layout = load()
+        deep = binary_tree_template(5)  # data only has 3 levels
+        op = Assembly(ListSource(layout.root_order), store, deep)
+        emitted = op.execute()
+        assert len(emitted) == 10
+        assert all(c.object_count() == 7 for c in emitted)
+
+    def test_template_shallower_than_data_is_fine(self):
+        db, store, layout = load()
+        shallow = binary_tree_template(2)
+        op = Assembly(ListSource(layout.root_order), store, shallow)
+        emitted = op.execute()
+        assert all(c.object_count() == 3 for c in emitted)
+
+    def test_template_wrong_slots_sees_nulls(self):
+        """A template following unused slots assembles just the root."""
+        db, store, layout = load()
+        root = TemplateNode("root")
+        root.child(6, "phantom")  # slot 6 is always null in ACOB data
+        op = Assembly(ListSource(layout.root_order), store, Template(root))
+        emitted = op.execute()
+        assert all(c.object_count() == 1 for c in emitted)
+
+
+class TestBufferPressure:
+    def test_window_larger_than_buffer_fails_loudly(self):
+        db, store, layout = load(n=40, buffer_capacity=16)
+        op = Assembly(
+            ListSource(layout.root_order), store, make_template(db),
+            window_size=10,  # pin bound 61 > 16 frames
+        )
+        with pytest.raises(BufferFullError):
+            op.execute()
+
+    def test_unpinned_mode_survives_tiny_buffer(self):
+        db, store, layout = load(n=40, buffer_capacity=4)
+        op = Assembly(
+            ListSource(layout.root_order), store, make_template(db),
+            window_size=10, pin_pages=False,
+        )
+        emitted = op.execute()
+        assert len(emitted) == 40
+        assert store.buffer.stats.re_reads > 0
+
+    def test_failed_run_leaves_no_pins_after_close(self):
+        db, store, layout = load(n=40, buffer_capacity=16)
+        op = Assembly(
+            ListSource(layout.root_order), store, make_template(db),
+            window_size=10,
+        )
+        with pytest.raises(BufferFullError):
+            for _ in op.rows():
+                pass
+        # rows() closed the operator in its finally block.
+        assert store.buffer.pinned_pages == 0
+
+
+class TestDirectoryCorruption:
+    def test_directory_slot_mismatch_detected(self):
+        """If the directory points at the wrong slot, the stored-OID
+        cross-check catches it instead of returning a wrong object."""
+        db, store, layout = load()
+        first, second = layout.roots[0], layout.roots[1]
+        rid_second = store.directory.lookup(second)
+        # Corrupt the directory: first now points at second's record.
+        store.directory._entries[first] = rid_second
+        with pytest.raises(StorageError):
+            store.fetch(first)
+        with pytest.raises(StorageError):
+            store.fetch_pinned(first)
+        assert store.buffer.pinned_pages == 0  # pin rolled back
+
+
+class TestStalledAssembly:
+    def test_stall_raises_instead_of_spinning(self):
+        """A window with nothing schedulable raises AssemblyError."""
+        from repro.core.window import Window
+
+        db, store, layout = load()
+        op = Assembly(ListSource([]), store, make_template(db))
+        op.open()
+        # Force an inconsistent state: occupied window, empty pool.
+        op._window.admit(layout.roots[0], total_nodes=7, total_predicates=0)
+        with pytest.raises(AssemblyError):
+            op.next()
+        op.close()

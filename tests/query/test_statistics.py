@@ -1,0 +1,146 @@
+"""Tests for sampling-based statistics collection."""
+
+import pytest
+
+from repro.cluster.layout import layout_database
+from repro.cluster.policies import Unclustered
+from repro.errors import PlanError
+from repro.query.optimizer import Optimizer
+from repro.query.logical import retrieve
+from repro.query.statistics import (
+    annotate_from_sample,
+    collect_statistics,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.store import ObjectStore
+from repro.workloads.acob import (
+    PAYLOAD_RANGE,
+    generate_acob,
+    make_template,
+)
+
+
+@pytest.fixture
+def loaded():
+    db = generate_acob(200, sharing=0.25, seed=21)
+    store = ObjectStore(SimulatedDisk())
+    layout = layout_database(
+        db.complex_objects, store, Unclustered(), shared=db.shared_pool
+    )
+    return db, store, layout
+
+
+class TestCollect:
+    def test_occurrences_cover_template(self, loaded):
+        db, store, layout = loaded
+        stats = collect_statistics(
+            store, make_template(db), layout.roots, sample_size=50
+        )
+        assert stats.sample_size == 50
+        for label in ("n0", "n1", "n6"):
+            assert stats.for_label(label).occurrences == 50
+
+    def test_sharing_degree_detected_at_shared_leaf(self, loaded):
+        db, store, layout = loaded
+        stats = collect_statistics(
+            store, make_template(db), layout.roots, sample_size=150
+        )
+        shared_leaf = stats.for_label("n6")
+        private_leaf = stats.for_label("n5")
+        # ~50 pool objects serve 150 references.
+        assert shared_leaf.sharing_degree < 0.5
+        assert private_leaf.sharing_degree == 1.0
+
+    def test_predicate_pass_rate_measured(self, loaded):
+        db, store, layout = loaded
+        bound = int(0.3 * PAYLOAD_RANGE)
+        stats = collect_statistics(
+            store,
+            make_template(db),
+            layout.roots,
+            candidates={"n1": lambda r: r.ints[3] < bound},
+            sample_size=200,
+        )
+        measured = stats.for_label("n1").selectivity("sampled@n1")
+        assert measured == pytest.approx(0.3, abs=0.08)
+
+    def test_small_root_set_uses_everything(self, loaded):
+        db, store, layout = loaded
+        stats = collect_statistics(
+            store, make_template(db), layout.roots[:10], sample_size=100
+        )
+        assert stats.sample_size == 10
+
+    def test_bad_parameters(self, loaded):
+        db, store, layout = loaded
+        with pytest.raises(PlanError):
+            collect_statistics(store, make_template(db), [], sample_size=10)
+        with pytest.raises(PlanError):
+            collect_statistics(
+                store, make_template(db), layout.roots, sample_size=0
+            )
+
+    def test_deterministic_under_seed(self, loaded):
+        db, store, layout = loaded
+        first = collect_statistics(
+            store, make_template(db), layout.roots, sample_size=40, seed=5
+        )
+        second = collect_statistics(
+            store, make_template(db), layout.roots, sample_size=40, seed=5
+        )
+        assert (
+            first.for_label("n6").distinct_objects
+            == second.for_label("n6").distinct_objects
+        )
+
+
+class TestAnnotate:
+    def test_shared_border_discovered(self, loaded):
+        db, store, layout = loaded
+        plain = make_template(db)  # deliberately without sharing info
+        annotated = annotate_from_sample(
+            plain, store, layout.roots, sample_size=150
+        )
+        node = annotated.node("n6")
+        assert node.shared
+        assert 0.0 < node.sharing_degree < 0.5
+        assert not annotated.node("n5").shared
+        # The input template is untouched.
+        assert not plain.node("n6").shared
+
+    def test_measured_predicate_attached(self, loaded):
+        db, store, layout = loaded
+        bound = int(0.4 * PAYLOAD_RANGE)
+        annotated = annotate_from_sample(
+            make_template(db),
+            store,
+            layout.roots,
+            predicates={"n1": lambda r: r.ints[3] < bound},
+            sample_size=200,
+        )
+        predicate = annotated.node("n1").predicate
+        assert predicate is not None
+        assert predicate.selectivity == pytest.approx(0.4, abs=0.1)
+        assert annotated.predicate_count == 1
+
+    def test_data_driven_pipeline_end_to_end(self, loaded):
+        """Sample -> annotate -> optimize -> execute, no hand numbers."""
+        db, store, layout = loaded
+        bound = int(0.3 * PAYLOAD_RANGE)
+        annotated = annotate_from_sample(
+            make_template(db),
+            store,
+            layout.roots,
+            predicates={"n1": lambda r: r.ints[3] < bound},
+            sample_size=100,
+        )
+        store.disk.reset_stats()
+        plan = Optimizer().optimize(
+            retrieve(annotated), store, list(layout.roots)
+        )
+        assert plan.choice.scheduler == "adaptive"
+        results = plan.execute()
+        expected = sum(
+            1 for payloads in db.payloads if payloads[1] < bound
+        )
+        assert len(results) == expected

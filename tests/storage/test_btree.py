@@ -1,0 +1,209 @@
+"""Tests for the page-backed B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateKeyError, IndexError_, KeyNotFoundError
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+
+
+def value(n: int) -> bytes:
+    return n.to_bytes(10, "big")
+
+
+def small_tree(**kwargs):
+    disk = SimulatedDisk()
+    return BTree(
+        disk,
+        BufferManager(disk),
+        max_leaf_keys=4,
+        max_internal_keys=4,
+        **kwargs,
+    )
+
+
+class TestInsertSearch:
+    def test_empty(self):
+        tree = small_tree()
+        assert len(tree) == 0
+        assert tree.search(1) == []
+
+    def test_single(self):
+        tree = small_tree()
+        tree.insert(5, value(5))
+        assert tree.search(5) == [value(5)]
+        assert len(tree) == 1
+
+    def test_many_with_splits(self):
+        tree = small_tree()
+        keys = list(range(200))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, value(key))
+        tree.check_invariants()
+        assert tree.height >= 3
+        for key in range(200):
+            assert tree.search(key) == [value(key)]
+
+    def test_duplicates_allowed(self):
+        tree = small_tree()
+        tree.insert(7, value(1))
+        tree.insert(7, value(2))
+        assert sorted(tree.search(7)) == [value(1), value(2)]
+
+    def test_many_duplicates_across_leaves(self):
+        tree = small_tree()
+        for i in range(30):
+            tree.insert(42, value(i))
+        tree.check_invariants()
+        assert len(tree.search(42)) == 30
+
+    def test_unique_index_rejects_duplicates(self):
+        tree = small_tree(unique=True)
+        tree.insert(1, value(1))
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1, value(2))
+
+    def test_bad_value_size(self):
+        tree = small_tree()
+        with pytest.raises(IndexError_):
+            tree.insert(1, b"short")
+
+    def test_negative_keys(self):
+        tree = small_tree()
+        for key in (-50, 0, 50):
+            tree.insert(key, value(abs(key)))
+        assert [k for k, _ in tree.items()] == [-50, 0, 50]
+
+
+class TestRangeScan:
+    def make(self, keys):
+        tree = small_tree()
+        for key in keys:
+            tree.insert(key, value(key))
+        return tree
+
+    def test_full_scan_sorted(self):
+        keys = random.Random(2).sample(range(1000), 100)
+        tree = self.make(keys)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_bounded_range(self):
+        tree = self.make(range(0, 100, 3))
+        got = [k for k, _ in tree.range_scan(10, 40)]
+        assert got == [k for k in range(0, 100, 3) if 10 <= k <= 40]
+
+    def test_open_low(self):
+        tree = self.make(range(10))
+        assert [k for k, _ in tree.range_scan(None, 4)] == [0, 1, 2, 3, 4]
+
+    def test_open_high(self):
+        tree = self.make(range(10))
+        assert [k for k, _ in tree.range_scan(6, None)] == [6, 7, 8, 9]
+
+    def test_empty_range(self):
+        tree = self.make(range(10))
+        assert list(tree.range_scan(100, 200)) == []
+
+
+class TestDelete:
+    def test_delete_missing(self):
+        tree = small_tree()
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(9)
+
+    def test_delete_specific_value(self):
+        tree = small_tree()
+        tree.insert(5, value(1))
+        tree.insert(5, value(2))
+        tree.delete(5, value(1))
+        assert tree.search(5) == [value(2)]
+
+    def test_delete_all_then_empty(self):
+        tree = small_tree()
+        keys = list(range(60))
+        for key in keys:
+            tree.insert(key, value(key))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_interleaved_insert_delete(self):
+        tree = small_tree()
+        model = []  # multiset of keys
+        rng = random.Random(4)
+        for step in range(400):
+            key = rng.randrange(50)
+            if key in model and rng.random() < 0.5:
+                tree.delete(key)
+                model.remove(key)
+            else:
+                tree.insert(key, value(step))
+                model.append(key)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == sorted(model)
+
+
+class TestPersistenceAndIO:
+    def test_index_io_goes_through_disk(self):
+        disk = SimulatedDisk()
+        tree = BTree(disk, BufferManager(disk), max_leaf_keys=4, max_internal_keys=4)
+        for key in range(50):
+            tree.insert(key, value(key))
+        # Reads happened: index pages come from the (simulated) device.
+        assert disk.stats.reads > 0 or disk.stats.writes > 0
+
+    def test_full_fanout_tree(self):
+        """Default (page-capacity) fan-out holds thousands of keys shallowly."""
+        disk = SimulatedDisk()
+        tree = BTree(disk, BufferManager(disk))
+        for key in range(3000):
+            tree.insert(key, value(key))
+        assert tree.height <= 3
+        tree.check_invariants()
+
+    def test_fanout_beyond_page_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(IndexError_):
+            BTree(disk, max_leaf_keys=10_000)
+
+    def test_fanout_too_small_rejected(self):
+        with pytest.raises(IndexError_):
+            BTree(SimulatedDisk(), max_leaf_keys=1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(0, 30),
+        ),
+        max_size=120,
+    )
+)
+def test_btree_matches_multiset_model(ops):
+    """Random insert/delete streams agree with a sorted-multiset model."""
+    tree = small_tree()
+    model = []
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, value(key))
+            model.append(key)
+        else:
+            if key in model:
+                tree.delete(key)
+                model.remove(key)
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    tree.delete(key)
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == sorted(model)

@@ -1,0 +1,75 @@
+"""Property-based model test for the buffer manager.
+
+A random stream of fix/unfix operations against a capacity-bounded
+buffer must agree with a reference model tracking pin counts, and must
+uphold the manager's invariants: pinned pages stay resident, capacity
+is never exceeded, and hit/fault counts sum to fixes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BufferFullError, PinError
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+
+N_PAGES = 12
+
+
+@st.composite
+def operation_streams(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["fix", "unfix"]),
+                st.integers(0, N_PAGES - 1),
+            ),
+            max_size=120,
+        )
+    )
+    capacity = draw(st.integers(2, 8))
+    return ops, capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(operation_streams())
+def test_buffer_matches_pin_model(stream):
+    ops, capacity = stream
+    disk = SimulatedDisk()
+    buffer = BufferManager(disk, capacity=capacity)
+    pins = {page: 0 for page in range(N_PAGES)}
+
+    for op, page in ops:
+        if op == "fix":
+            distinct_pinned = sum(1 for c in pins.values() if c > 0)
+            try:
+                buffer.fix(page)
+            except BufferFullError:
+                # Legal only when every frame is pinned and the page
+                # itself is not resident.
+                assert distinct_pinned >= capacity
+                assert not buffer.is_resident(page)
+                continue
+            pins[page] += 1
+        else:
+            if pins[page] > 0:
+                buffer.unfix(page)
+                pins[page] -= 1
+            else:
+                try:
+                    buffer.unfix(page)
+                except PinError:
+                    pass
+                else:
+                    raise AssertionError("unfix of unpinned page succeeded")
+
+        # Invariants after every operation:
+        assert buffer.resident_pages <= capacity
+        for target, count in pins.items():
+            assert buffer.pin_count(target) == count
+            if count > 0:
+                assert buffer.is_resident(target)
+        assert buffer.pinned_pages == sum(1 for c in pins.values() if c > 0)
+
+    stats = buffer.stats
+    assert stats.hits + stats.faults == stats.fixes

@@ -1,0 +1,139 @@
+"""Tests for the simulated disk: the paper's seek-distance model."""
+
+import pytest
+
+from repro.errors import DiskError, ExtentError
+from repro.storage.disk import Extent, SimulatedDisk
+from repro.storage.page import Page
+
+
+class TestSeekAccounting:
+    def test_first_read_from_head_zero(self):
+        disk = SimulatedDisk()
+        disk.read(10)
+        assert disk.stats.reads == 1
+        assert disk.stats.read_seek_total == 10
+        assert disk.head_position == 10
+
+    def test_avg_seek_per_read(self):
+        """The paper's metric: total seek distance / total reads."""
+        disk = SimulatedDisk()
+        disk.read(10)   # +10
+        disk.read(4)    # +6
+        disk.read(4)    # +0
+        disk.read(20)   # +16
+        assert disk.stats.reads == 4
+        assert disk.stats.read_seek_total == 32
+        assert disk.stats.avg_seek_per_read == 8.0
+
+    def test_avg_seek_empty(self):
+        assert SimulatedDisk().stats.avg_seek_per_read == 0.0
+
+    def test_writes_tracked_separately(self):
+        disk = SimulatedDisk()
+        disk.write(Page(50))
+        assert disk.stats.writes == 1
+        assert disk.stats.write_seek_total == 50
+        assert disk.stats.reads == 0
+        assert disk.stats.avg_seek_per_read == 0.0
+
+    def test_write_moves_head_for_next_read(self):
+        disk = SimulatedDisk()
+        disk.write(Page(30))
+        disk.read(30)
+        assert disk.stats.read_seek_total == 0
+
+    def test_per_read_history(self):
+        disk = SimulatedDisk()
+        for page_id in (5, 5, 0):
+            disk.read(page_id)
+        assert disk.stats.read_seeks == [5, 0, 5]
+
+    def test_reset_stats_parks_head(self):
+        disk = SimulatedDisk()
+        disk.read(100)
+        disk.reset_stats()
+        assert disk.stats.reads == 0
+        assert disk.head_position == 0
+        disk.read(3)
+        assert disk.stats.read_seek_total == 3
+
+    def test_reset_stats_keep_head(self):
+        disk = SimulatedDisk()
+        disk.read(100)
+        disk.reset_stats(head_to_zero=False)
+        assert disk.head_position == 100
+
+    def test_snapshot_is_independent(self):
+        disk = SimulatedDisk()
+        disk.read(5)
+        snap = disk.stats.snapshot()
+        disk.read(50)
+        assert snap.reads == 1
+        assert disk.stats.reads == 2
+
+
+class TestPersistence:
+    def test_read_unwritten_page_is_empty(self):
+        page = SimulatedDisk().read(7)
+        assert page.page_id == 7
+        assert page.slot_count == 0
+
+    def test_write_then_read(self):
+        disk = SimulatedDisk()
+        page = Page(2)
+        page.insert(b"persisted")
+        disk.write(page)
+        assert disk.read(2).read(0) == b"persisted"
+
+    def test_read_returns_copy(self):
+        """Mutating a read page does not change the disk (real I/O)."""
+        disk = SimulatedDisk()
+        page = Page(0)
+        page.insert(b"abc")
+        disk.write(page)
+        copy = disk.read(0)
+        copy.insert(b"extra")
+        assert disk.read(0).slot_count == 1
+
+
+class TestBoundsAndExtents:
+    def test_negative_page(self):
+        with pytest.raises(DiskError):
+            SimulatedDisk().read(-1)
+
+    def test_bounded_disk(self):
+        disk = SimulatedDisk(n_pages=10)
+        disk.read(9)
+        with pytest.raises(DiskError):
+            disk.read(10)
+
+    def test_zero_page_disk_rejected(self):
+        with pytest.raises(DiskError):
+            SimulatedDisk(n_pages=0)
+
+    def test_extents_are_contiguous_and_disjoint(self):
+        disk = SimulatedDisk()
+        first = disk.allocate(5)
+        second = disk.allocate(3)
+        assert (first.start, first.length) == (0, 5)
+        assert (second.start, second.length) == (5, 3)
+        assert disk.allocated_pages == 8
+
+    def test_extent_contains_and_page_at(self):
+        extent = Extent(start=10, length=4)
+        assert 10 in extent and 13 in extent
+        assert 14 not in extent
+        assert extent.page_at(2) == 12
+        with pytest.raises(ExtentError):
+            extent.page_at(4)
+
+    def test_allocate_beyond_limit(self):
+        disk = SimulatedDisk(n_pages=4)
+        disk.allocate(3)
+        with pytest.raises(ExtentError):
+            disk.allocate(2)
+
+    def test_allocate_zero(self):
+        with pytest.raises(ExtentError):
+            SimulatedDisk().allocate(0)

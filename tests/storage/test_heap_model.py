@@ -1,0 +1,65 @@
+"""Property-based model test for heap files.
+
+Random append/update/delete streams must agree with a dict model keyed
+by RID, and a full scan must return exactly the live records in file
+order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+
+
+@st.composite
+def heap_operations(draw):
+    # op, payload-size selector, target selector
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["append", "update", "delete"]),
+                st.integers(1, 120),
+                st.integers(0, 10_000),
+            ),
+            max_size=80,
+        )
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(heap_operations())
+def test_heap_matches_dict_model(ops):
+    disk = SimulatedDisk()
+    heap = HeapFile(disk, BufferManager(disk), extent_pages=1)
+    model = {}  # rid -> payload
+    order = []  # rids in append order
+    counter = 0
+
+    for op, size, selector in ops:
+        live = [rid for rid in order if rid in model]
+        if op == "append":
+            payload = bytes([counter % 256]) * size
+            counter += 1
+            rid = heap.append(payload)
+            model[rid] = payload
+            order.append(rid)
+        elif op == "update" and live:
+            rid = live[selector % len(live)]
+            payload = bytes([(counter + 1) % 256]) * len(model[rid])
+            counter += 1
+            heap.update(rid, payload)
+            model[rid] = payload
+        elif op == "delete" and live:
+            rid = live[selector % len(live)]
+            heap.delete(rid)
+            del model[rid]
+
+    assert len(heap) == len(model)
+    for rid, payload in model.items():
+        assert heap.fetch(rid) == payload
+    scanned = list(heap.scan())
+    assert {rid for rid, _ in scanned} == set(model)
+    for rid, payload in scanned:
+        assert payload == model[rid]

@@ -1,0 +1,103 @@
+"""Tests for the multi-device disk."""
+
+import pytest
+
+from repro.errors import DiskError, ExtentError
+from repro.storage.multidisk import MultiDeviceDisk
+from repro.storage.page import Page
+
+
+class TestGeometry:
+    def test_address_space(self):
+        disk = MultiDeviceDisk(n_devices=3, pages_per_device=100)
+        assert disk.device_of(0) == 0
+        assert disk.device_of(99) == 0
+        assert disk.device_of(100) == 1
+        assert disk.device_of(299) == 2
+        with pytest.raises(DiskError):
+            disk.device_of(300)
+
+    def test_bad_parameters(self):
+        with pytest.raises(DiskError):
+            MultiDeviceDisk(n_devices=0, pages_per_device=10)
+        with pytest.raises(DiskError):
+            MultiDeviceDisk(n_devices=2, pages_per_device=0)
+
+
+class TestIndependentHeads:
+    def test_seeks_charged_per_device(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=100)
+        disk.read(50)    # device 0: head 0 -> 50
+        disk.read(150)   # device 1: head 100 -> 150
+        disk.read(60)    # device 0: head 50 -> 60 (10, not 90!)
+        assert disk.device_stats[0].read_seeks == [50, 10]
+        assert disk.device_stats[1].read_seeks == [50]
+        assert disk.stats.read_seek_total == 110
+
+    def test_interleaving_does_not_interfere(self):
+        """Alternating devices costs the same as visiting each alone."""
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=1000)
+        for offset in range(10):
+            disk.read(offset * 10)          # device 0 sweep
+            disk.read(1000 + offset * 10)   # device 1 sweep
+        # Each device swept 0..90 in 10-page steps: 90 total each.
+        assert disk.device_stats[0].read_seek_total == 90
+        assert disk.device_stats[1].read_seek_total == 90
+
+    def test_reset_parks_all_heads(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=100)
+        disk.read(70)
+        disk.read(170)
+        disk.reset_stats()
+        assert disk.head_of(0) == 0
+        assert disk.head_of(1) == 100
+        assert disk.device_stats[0].reads == 0
+
+
+class TestAllocation:
+    def test_round_robin_across_devices(self):
+        disk = MultiDeviceDisk(n_devices=3, pages_per_device=100)
+        extents = [disk.allocate(10) for _ in range(6)]
+        devices = [disk.device_of(e.start) for e in extents]
+        assert devices == [0, 1, 2, 0, 1, 2]
+
+    def test_allocate_on_specific_device(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=100)
+        extent = disk.allocate_on(1, 20)
+        assert disk.device_of(extent.start) == 1
+        assert extent.length == 20
+
+    def test_skip_full_device(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=30)
+        disk.allocate_on(0, 25)
+        extent = disk.allocate(10)  # does not fit device 0's remainder
+        assert disk.device_of(extent.start) == 1
+
+    def test_all_full_raises(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=10)
+        disk.allocate(10)
+        disk.allocate(10)
+        with pytest.raises(ExtentError):
+            disk.allocate(1)
+
+    def test_allocate_on_bad_device(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=10)
+        with pytest.raises(ExtentError):
+            disk.allocate_on(5, 1)
+
+    def test_extent_never_straddles_devices(self):
+        disk = MultiDeviceDisk(n_devices=4, pages_per_device=50)
+        for _ in range(4):
+            extent = disk.allocate(30)
+            assert disk.device_of(extent.start) == disk.device_of(
+                extent.end - 1
+            )
+
+
+class TestPersistence:
+    def test_read_write_roundtrip(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=100)
+        page = Page(150)
+        page.insert(b"on device one")
+        disk.write(page)
+        assert disk.read(150).read(0) == b"on device one"

@@ -1,0 +1,156 @@
+"""Tests for the slotted page."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BadSlotError, PageError, PageFullError
+from repro.storage.page import PAGE_SIZE, Page, records_per_page
+
+
+class TestPageBasics:
+    def test_new_page_is_empty(self):
+        page = Page(3)
+        assert page.page_id == 3
+        assert page.slot_count == 0
+        assert page.live_count() == 0
+
+    def test_insert_and_read(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_slots_are_sequential(self):
+        page = Page(0)
+        assert [page.insert(b"x") for _ in range(5)] == list(range(5))
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(PageError):
+            Page(0).insert(b"")
+
+    def test_read_bad_slot(self):
+        page = Page(0)
+        with pytest.raises(BadSlotError):
+            page.read(0)
+        page.insert(b"a")
+        with pytest.raises(BadSlotError):
+            page.read(1)
+
+    def test_paper_packing_nine_objects_per_page(self):
+        """Section 6: 96-byte objects (+10-byte stored OID) pack 9/page."""
+        assert records_per_page(106) == 9
+        page = Page(0)
+        for _ in range(9):
+            page.insert(b"\x01" * 106)
+        with pytest.raises(PageFullError):
+            page.insert(b"\x01" * 106)
+
+    def test_free_space_decreases(self):
+        page = Page(0)
+        before = page.free_space
+        page.insert(b"abcd")
+        assert page.free_space == before - 4 - 4  # record + slot entry
+
+    def test_fits(self):
+        page = Page(0)
+        assert page.fits(page.free_space - 4)
+        assert not page.fits(page.free_space)
+
+
+class TestDeleteUpdate:
+    def test_delete_tombstones(self):
+        page = Page(0)
+        slot = page.insert(b"dead")
+        page.delete(slot)
+        with pytest.raises(BadSlotError):
+            page.read(slot)
+        assert page.live_count() == 0
+        assert page.slot_count == 1  # tombstone remains
+
+    def test_double_delete(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(BadSlotError):
+            page.delete(slot)
+
+    def test_delete_keeps_other_slots_valid(self):
+        page = Page(0)
+        a = page.insert(b"aaa")
+        b = page.insert(b"bbb")
+        page.delete(a)
+        assert page.read(b) == b"bbb"
+
+    def test_update_same_length(self):
+        page = Page(0)
+        slot = page.insert(b"old")
+        page.update(slot, b"new")
+        assert page.read(slot) == b"new"
+
+    def test_update_wrong_length(self):
+        page = Page(0)
+        slot = page.insert(b"old")
+        with pytest.raises(PageError):
+            page.update(slot, b"longer")
+
+    def test_update_deleted_slot(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(BadSlotError):
+            page.update(slot, b"y")
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        page = Page(9)
+        page.insert(b"one")
+        page.insert(b"two")
+        page.delete(0)
+        image = page.to_bytes()
+        assert len(image) == PAGE_SIZE
+        restored = Page.from_bytes(9, image)
+        assert restored.read(1) == b"two"
+        with pytest.raises(BadSlotError):
+            restored.read(0)
+
+    def test_wrong_id_rejected(self):
+        image = Page(1).to_bytes()
+        with pytest.raises(PageError):
+            Page.from_bytes(2, image)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(PageError):
+            Page.from_bytes(0, b"\x00" * 10)
+
+    def test_records_iterates_live_only(self):
+        page = Page(0)
+        page.insert(b"a")
+        page.insert(b"b")
+        page.insert(b"c")
+        page.delete(1)
+        assert list(page.records()) == [(0, b"a"), (2, b"c")]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.binary(min_size=1, max_size=40),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_page_matches_model(records):
+    """Insert/read over random records agrees with a list model."""
+    page = Page(0)
+    stored = []
+    for record in records:
+        if page.fits(len(record)):
+            slot = page.insert(record)
+            stored.append((slot, record))
+    for slot, record in stored:
+        assert page.read(slot) == record
+    # Serialization preserves everything.
+    restored = Page.from_bytes(0, page.to_bytes())
+    for slot, record in stored:
+        assert restored.read(slot) == record

@@ -1,0 +1,148 @@
+"""Tests for the OID-addressed object store and page planner."""
+
+import pytest
+
+from repro.errors import DuplicateOidError, PageFullError, StorageError
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+from repro.storage.oid import Oid
+from repro.storage.record import ObjectRecord
+from repro.storage.store import ObjectStore, PagePlanner
+
+
+def record(marker: int) -> ObjectRecord:
+    return ObjectRecord(ints=[marker, 0, 0, 0])
+
+
+class TestStoreFetch:
+    def test_roundtrip(self, store):
+        extent = store.disk.allocate(1)
+        store.store_at(Oid(1, 1), record(42), extent.start)
+        fetched = store.fetch(Oid(1, 1))
+        assert fetched.ints[0] == 42
+
+    def test_objects_per_page_is_nine(self, store):
+        """Paper geometry: nine 96-byte objects per 1 KB page."""
+        assert store.objects_per_page() == 9
+
+    def test_page_fills_then_rejects(self, store):
+        extent = store.disk.allocate(1)
+        for serial in range(9):
+            store.store_at(Oid(1, serial + 1), record(serial), extent.start)
+        with pytest.raises(PageFullError):
+            store.store_at(Oid(1, 100), record(0), extent.start)
+
+    def test_duplicate_oid_rejected(self, store):
+        extent = store.disk.allocate(1)
+        store.store_at(Oid(1, 1), record(0), extent.start)
+        with pytest.raises(DuplicateOidError):
+            store.store_at(Oid(1, 1), record(1), extent.start)
+
+    def test_store_page_bulk(self, store):
+        extent = store.disk.allocate(1)
+        items = [(Oid(1, s + 1), record(s)) for s in range(9)]
+        rids = store.store_page(extent.start, items)
+        assert [rid.slot for rid in rids] == list(range(9))
+        for serial in range(9):
+            assert store.fetch(Oid(1, serial + 1)).ints[0] == serial
+
+    def test_store_page_duplicate_rolls_back_nothing_registered(self, store):
+        extent = store.disk.allocate(1)
+        store.store_at(Oid(1, 1), record(0), extent.start)
+        with pytest.raises(DuplicateOidError):
+            store.store_page(extent.start, [(Oid(1, 1), record(1))])
+
+    def test_page_of(self, store):
+        extent = store.disk.allocate(3)
+        store.store_at(Oid(1, 1), record(0), extent.start + 2)
+        assert store.page_of(Oid(1, 1)) == extent.start + 2
+
+    def test_fetch_goes_through_buffer(self, store):
+        extent = store.disk.allocate(1)
+        store.store_at(Oid(1, 1), record(0), extent.start)
+        store.disk.reset_stats()
+        store.fetch(Oid(1, 1))
+        store.fetch(Oid(1, 1))
+        assert store.disk.stats.reads == 1  # second fetch is a buffer hit
+        assert store.buffer.stats.hits >= 1
+
+
+class TestPinnedFetch:
+    def test_fetch_pinned_holds_page(self, store):
+        extent = store.disk.allocate(1)
+        store.store_at(Oid(1, 1), record(7), extent.start)
+        fetched = store.fetch_pinned(Oid(1, 1))
+        assert fetched.ints[0] == 7
+        assert store.buffer.pin_count(extent.start) == 1
+        store.unpin(Oid(1, 1))
+        assert store.buffer.pin_count(extent.start) == 0
+
+    def test_two_objects_same_page_two_pins(self, store):
+        extent = store.disk.allocate(1)
+        store.store_at(Oid(1, 1), record(1), extent.start)
+        store.store_at(Oid(1, 2), record(2), extent.start)
+        store.fetch_pinned(Oid(1, 1))
+        store.fetch_pinned(Oid(1, 2))
+        assert store.buffer.pin_count(extent.start) == 2
+        store.unpin(Oid(1, 1))
+        store.unpin(Oid(1, 2))
+
+
+class TestScanExtent:
+    def test_scan_extent_physical_order(self, store):
+        extent = store.disk.allocate(2)
+        store.store_at(Oid(1, 1), record(1), extent.start + 1)
+        store.store_at(Oid(1, 2), record(2), extent.start)
+        scanned = list(store.scan_extent(extent))
+        assert [oid for oid, _ in scanned] == [Oid(1, 2), Oid(1, 1)]
+
+
+class TestPagePlanner:
+    def test_capacity(self, store):
+        extent = store.disk.allocate(3)
+        planner = PagePlanner(store, extent)
+        assert planner.capacity() == 27
+        assert planner.objects_per_page == 9
+
+    def test_slots_in_order(self, store):
+        extent = store.disk.allocate(2)
+        planner = PagePlanner(store, extent)
+        slots = planner.slots_in_order()
+        assert len(slots) == 18
+        assert slots[:9] == [extent.start] * 9
+        assert slots[9:] == [extent.start + 1] * 9
+
+    def test_claim_enforces_fill(self, store):
+        extent = store.disk.allocate(1)
+        planner = PagePlanner(store, extent)
+        for _ in range(9):
+            planner.claim(extent.start)
+        with pytest.raises(PageFullError):
+            planner.claim(extent.start)
+
+    def test_claim_outside_extent(self, store):
+        extent = store.disk.allocate(1)
+        planner = PagePlanner(store, extent)
+        with pytest.raises(StorageError):
+            planner.claim(extent.start + 5)
+
+    def test_next_sequential_skips_full_pages(self, store):
+        extent = store.disk.allocate(2)
+        planner = PagePlanner(store, extent)
+        for _ in range(9):
+            planner.claim(extent.start)
+        assert planner.next_sequential() == extent.start + 1
+
+    def test_next_sequential_exhausted(self, store):
+        extent = store.disk.allocate(1)
+        planner = PagePlanner(store, extent)
+        for _ in range(9):
+            planner.claim(planner.next_sequential())
+        with pytest.raises(PageFullError):
+            planner.next_sequential()
+
+    def test_slots_reflect_claims(self, store):
+        extent = store.disk.allocate(1)
+        planner = PagePlanner(store, extent)
+        planner.claim(extent.start)
+        assert len(planner.slots_in_order()) == 8

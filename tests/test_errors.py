@@ -1,0 +1,60 @@
+"""Tests for the exception hierarchy."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+
+
+def all_error_classes():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, errors.ReproError)
+
+    def test_storage_family(self):
+        for cls in (
+            errors.PageError,
+            errors.PageFullError,
+            errors.BadSlotError,
+            errors.DiskError,
+            errors.ExtentError,
+            errors.BufferFullError,
+            errors.PinError,
+            errors.RecordError,
+            errors.UnknownOidError,
+            errors.DuplicateOidError,
+            errors.DuplicateKeyError,
+            errors.KeyNotFoundError,
+        ):
+            assert issubclass(cls, errors.StorageError)
+
+    def test_assembly_family(self):
+        for cls in (
+            errors.TemplateError,
+            errors.SchedulerError,
+            errors.WindowError,
+        ):
+            assert issubclass(cls, errors.AssemblyError)
+
+    def test_query_family(self):
+        for cls in (errors.IteratorStateError, errors.PlanError):
+            assert issubclass(cls, errors.QueryError)
+
+    def test_one_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BufferFullError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.PlanError("x")
+
+    def test_storage_does_not_cross_into_query(self):
+        assert not issubclass(errors.PageError, errors.QueryError)
+        assert not issubclass(errors.PlanError, errors.StorageError)

@@ -1,0 +1,41 @@
+"""Tests for hash aggregation."""
+
+from repro.volcano.aggregate import HashAggregate, count_aggregate, sum_aggregate
+from repro.volcano.iterator import ListSource
+
+ROWS = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("a", 5)]
+
+
+class TestHashAggregate:
+    def test_count(self):
+        op = count_aggregate(ListSource(ROWS), group_key=lambda r: r[0])
+        assert sorted(op.execute()) == [("a", 3), ("b", 1), ("c", 1)]
+
+    def test_sum(self):
+        op = sum_aggregate(
+            ListSource(ROWS), group_key=lambda r: r[0], value=lambda r: r[1]
+        )
+        assert sorted(op.execute()) == [("a", 9), ("b", 2), ("c", 4)]
+
+    def test_custom_fold(self):
+        op = HashAggregate(
+            ListSource(ROWS),
+            group_key=lambda r: r[0],
+            init=list,
+            step=lambda acc, row: acc + [row[1]],
+            final=lambda key, acc: (key, max(acc)),
+        )
+        assert sorted(op.execute()) == [("a", 5), ("b", 2), ("c", 4)]
+
+    def test_empty_input(self):
+        op = count_aggregate(ListSource([]), group_key=lambda r: r)
+        assert op.execute() == []
+
+    def test_single_group(self):
+        op = count_aggregate(ListSource([1, 1, 1]), group_key=lambda r: "all")
+        assert op.execute() == [("all", 3)]
+
+    def test_reopen(self):
+        op = count_aggregate(ListSource([1, 2]), group_key=lambda r: r)
+        assert len(op.execute()) == 2
+        assert len(op.execute()) == 2

@@ -1,0 +1,71 @@
+"""Tests for exchange-style partitioning."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.volcano.exchange import Partition, PartitionedExecute
+from repro.volcano.filters import Project
+from repro.volcano.iterator import ListSource
+
+
+class TestPartition:
+    def test_round_robin_split(self):
+        rows = list(range(10))
+        parts = [
+            Partition(ListSource(rows), 3, i).execute() for i in range(3)
+        ]
+        assert parts[0] == [0, 3, 6, 9]
+        assert parts[1] == [1, 4, 7]
+        assert parts[2] == [2, 5, 8]
+
+    def test_partitions_cover_input(self):
+        rows = list(range(17))
+        seen = []
+        for i in range(4):
+            seen.extend(Partition(ListSource(rows), 4, i).execute())
+        assert sorted(seen) == rows
+
+    def test_bad_index(self):
+        with pytest.raises(PlanError):
+            Partition(ListSource([]), 2, 2)
+
+    def test_bad_count(self):
+        with pytest.raises(PlanError):
+            Partition(ListSource([]), 0, 0)
+
+
+class TestPartitionedExecute:
+    def test_runs_fragment_per_partition(self):
+        op = PartitionedExecute(
+            rows=list(range(8)),
+            n_partitions=2,
+            fragment=lambda source: Project(source, lambda n: n * 10),
+        )
+        assert sorted(op.execute()) == [n * 10 for n in range(8)]
+
+    def test_interleaves_round_robin(self):
+        op = PartitionedExecute(
+            rows=[0, 1, 2, 3],
+            n_partitions=2,
+            fragment=lambda source: source,
+        )
+        # partitions: [0, 2] and [1, 3]; merged round-robin.
+        assert op.execute() == [0, 1, 2, 3]
+
+    def test_uneven_partitions_drain(self):
+        op = PartitionedExecute(
+            rows=list(range(5)),
+            n_partitions=3,
+            fragment=lambda source: source,
+        )
+        assert sorted(op.execute()) == list(range(5))
+
+    def test_empty_input(self):
+        op = PartitionedExecute(
+            rows=[], n_partitions=2, fragment=lambda source: source
+        )
+        assert op.execute() == []
+
+    def test_bad_partition_count(self):
+        with pytest.raises(PlanError):
+            PartitionedExecute(rows=[], n_partitions=0, fragment=lambda s: s)

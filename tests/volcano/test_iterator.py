@@ -1,0 +1,88 @@
+"""Tests for the Volcano iterator protocol."""
+
+import pytest
+
+from repro.errors import IteratorStateError
+from repro.volcano.iterator import GeneratorSource, ListSource, VolcanoIterator
+
+
+class TestProtocol:
+    def test_lifecycle(self):
+        source = ListSource([1, 2])
+        source.open()
+        assert source.next() == 1
+        assert source.next() == 2
+        assert source.next() is None
+        source.close()
+
+    def test_next_before_open(self):
+        with pytest.raises(IteratorStateError):
+            ListSource([1]).next()
+
+    def test_double_open(self):
+        source = ListSource([1])
+        source.open()
+        with pytest.raises(IteratorStateError):
+            source.open()
+
+    def test_close_before_open(self):
+        with pytest.raises(IteratorStateError):
+            ListSource([1]).close()
+
+    def test_double_close(self):
+        source = ListSource([])
+        source.open()
+        source.close()
+        with pytest.raises(IteratorStateError):
+            source.close()
+
+    def test_next_after_close(self):
+        source = ListSource([1])
+        source.open()
+        source.close()
+        with pytest.raises(IteratorStateError):
+            source.next()
+
+    def test_reopen_after_close(self):
+        """Volcano re-opens inner join inputs; iterators must support it."""
+        source = ListSource([1, 2])
+        assert source.execute() == [1, 2]
+        assert source.execute() == [1, 2]
+
+    def test_is_open(self):
+        source = ListSource([])
+        assert not source.is_open
+        source.open()
+        assert source.is_open
+        source.close()
+        assert not source.is_open
+
+
+class TestHelpers:
+    def test_rows_generator_drives_protocol(self):
+        source = ListSource([1, 2, 3])
+        assert list(source.rows()) == [1, 2, 3]
+        assert not source.is_open  # closed when exhausted
+
+    def test_rows_closes_on_early_exit(self):
+        source = ListSource([1, 2, 3])
+        for row in source.rows():
+            break
+        assert not source.is_open
+
+    def test_execute(self):
+        assert ListSource(["a", "b"]).execute() == ["a", "b"]
+
+    def test_empty_source(self):
+        assert ListSource([]).execute() == []
+
+
+class TestGeneratorSource:
+    def test_yields_factory_output(self):
+        source = GeneratorSource(lambda: iter(range(4)))
+        assert source.execute() == [0, 1, 2, 3]
+
+    def test_reopen_restarts_generator(self):
+        source = GeneratorSource(lambda: iter("ab"))
+        assert source.execute() == ["a", "b"]
+        assert source.execute() == ["a", "b"]
