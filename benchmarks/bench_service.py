@@ -1,0 +1,20 @@
+"""Benchmarks for the Section 7 assembly service.
+
+* S-1/S-2/S-3 — a closed-loop load generator drives identical request
+  schedules through naive per-client assembly (private elevator per
+  client) and through the shared device server, reporting average seek
+  distance, throughput, and p50/p95 request latency vs client count.
+  The device server must win on seek at four or more clients.
+* S-4 — the repeated-hot-roots workload: the result cache must cut
+  repeat-round buffer page faults by at least 90%.
+"""
+
+from repro.bench.service import figure_service_cache, figure_service_scaling
+
+
+def test_service_closed_loop(figure_runner):
+    figure_runner(figure_service_scaling)
+
+
+def test_service_cache(figure_runner):
+    figure_runner(figure_service_cache)

@@ -41,6 +41,11 @@ from repro.bench.harness import (
     sweep,
 )
 from repro.bench.report import FigureResult, render, render_all
+from repro.bench.service import (
+    figure_service,
+    figure_service_cache,
+    figure_service_scaling,
+)
 
 __all__ = [
     "ALL_FIGURES",
@@ -68,6 +73,9 @@ __all__ = [
     "figure_14",
     "figure_15",
     "figure_16",
+    "figure_service",
+    "figure_service_cache",
+    "figure_service_scaling",
     "figure_to_csv",
     "figure_to_dict",
     "get_database",

@@ -965,4 +965,12 @@ def _register_baselines() -> None:
     ALL_FIGURES["baseline-tidscan"] = baseline_tid_scan
 
 
+def _register_service() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    from repro.bench.service import figure_service
+
+    ALL_FIGURES["service"] = figure_service
+
+
 _register_baselines()
+_register_service()

@@ -1,7 +1,9 @@
 """Regression comparison between benchmark runs.
 
 ``python -m repro.bench --json baseline.json`` archives a run; this
-module compares a later run against it, flagging:
+module compares a later run against it (programmatically or via
+``python -m repro.bench.regression baseline.json current.json``, the
+CI gate), flagging:
 
 * figures or series that appeared/disappeared,
 * data points whose y value drifted beyond a relative tolerance,
@@ -116,3 +118,38 @@ def compare_files(
     return compare_documents(
         load_json(baseline_path), load_json(current_path), tolerance
     )
+
+
+def main(argv: Union[Sequence[str], None] = None) -> int:
+    """CLI: compare a current export against an archived baseline.
+
+    Exit status 0 when the runs are equivalent, 1 on any regression —
+    which is exactly what a CI step wants.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Compare two 'python -m repro.bench --json' exports.",
+    )
+    parser.add_argument("baseline", help="archived baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative y drift allowed per point (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = compare_files(args.baseline, args.current, args.tolerance)
+    except FileNotFoundError as exc:
+        parser.error(f"cannot read results file: {exc.filename}")
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

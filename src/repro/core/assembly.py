@@ -218,6 +218,12 @@ class Assembly(VolcanoIterator):
 
     def _close(self) -> None:
         assert self._window is not None
+        # Retract anything this operator still has queued: under an
+        # externally owned (shared) scheduler the pool outlives the
+        # operator, and stale references must not leak into it.
+        if self._scheduler is not None:
+            for state in self._window.states():
+                self._scheduler.remove_owner(state.serial)
         # Release every pin still held (incomplete objects, shared pages).
         for state in self._window.states():
             self._release_pins(state)
@@ -230,6 +236,59 @@ class Assembly(VolcanoIterator):
             self._scheduler.ops if self._scheduler is not None else 0
         )
         self._source.close()
+
+    # -- external draining (device-server hooks) -----------------------------
+
+    def resolve_external(self, ref: UnresolvedReference) -> None:
+        """Resolve one reference popped by an external driver.
+
+        The assembly service's device server owns the scheduler pool
+        for every registered query; it pops the globally best reference
+        and hands it back to the owning operator through this hook.
+        References whose owner aborted after queuing are ignored, the
+        same way :meth:`next`'s internal loop skips them.
+        """
+        if not self.is_open:
+            raise AssemblyError("resolve_external() on a non-open operator")
+        assert self._window is not None
+        if ref.owner not in self._window:
+            return
+        self._resolve(ref)
+
+    def drain_emitted(self) -> List[AssembledComplexObject]:
+        """Hand over every completed complex object buffered so far.
+
+        External drivers use this instead of :meth:`next`: resolution
+        via :meth:`resolve_external` appends completions to the emit
+        buffer, and the driver collects them between steps.
+        """
+        drained = list(self._emit)
+        self._emit.clear()
+        return drained
+
+    def is_drained(self) -> bool:
+        """Nothing left to do or hand out?
+
+        True once the source is exhausted, the window is empty, and no
+        completed object is waiting in the emit buffer — the external
+        driver's termination test.
+        """
+        assert self._window is not None
+        return self._source_done and self._window.is_empty and not self._emit
+
+    def release_stuck_deferred(self) -> bool:
+        """Reschedule deferred references of stalled in-window objects.
+
+        External drivers call this when the operator's pool ran dry but
+        :meth:`is_drained` is still false; returns whether anything was
+        released.  Raises :class:`AssemblyError` if the operator is
+        truly stalled (window occupied, nothing deferred), mirroring
+        the internal safety valve.
+        """
+        if not self.is_open:
+            raise AssemblyError("release_stuck_deferred() on a non-open operator")
+        self._flush_stuck_deferred()
+        return True
 
     # -- window management ---------------------------------------------------------
 

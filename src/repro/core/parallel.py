@@ -18,21 +18,26 @@ This module makes both sides of that argument executable:
   the device; their elevator sweeps fight, and seek distance degrades
   as K grows.
 * :class:`DeviceServerAssembly` — the server-per-device fix: the same
-  K partitions, but every operator's references flow into **one**
-  scheduler queue (the device server's), so a single global sweep
-  serves all partitions.  Structurally this is one assembly operator
-  whose window is partitioned, which is exactly why the paper expects
-  partitioned parallel assembly to scale.
+  K partitions, each registered as a client query of the real device
+  server (:class:`repro.service.device_server.DeviceServer`), so every
+  operator's references flow into **one** global elevator sweep.
 
 Both are ordinary Volcano iterators, so the ablation benchmark can
-compare them like-for-like.
+compare them like-for-like.  ``DeviceServerAssembly`` is kept as a
+thin wrapper (with the deprecated
+:data:`PartitionedDeviceServerAssembly` alias) for the static
+K-partition use case; the service layer in :mod:`repro.service` is the
+full multi-client generalization — dynamic query registry, admission
+control, result caching.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.core.assembled import AssembledComplexObject
+if TYPE_CHECKING:  # import cycle: the service builds on core
+    from repro.service.device_server import DeviceServer
+
 from repro.core.assembly import Assembly
 from repro.core.template import Template
 from repro.errors import AssemblyError
@@ -122,11 +127,20 @@ class InterleavedAssemblies(VolcanoIterator):
 class DeviceServerAssembly(VolcanoIterator):
     """The server-per-device fix: one request queue for all partitions.
 
-    The device server owns the only scheduler; partitioned input is
-    admitted into one (larger) shared window.  Implemented as a single
-    assembly operator fed by the round-robin-merged root stream —
-    faithful to the paper's observation that the server architecture
-    re-establishes the exclusive-control assumption.
+    Since the assembly service landed, this class is a thin wrapper
+    over :class:`repro.service.device_server.DeviceServer` — the full
+    dynamic multi-client realization of Section 7's sketch.  Each of
+    the K partitions registers as one client query (window
+    ``window_size // K``); all their references merge into the server's
+    single global elevator sweep, re-establishing the exclusive-control
+    assumption exactly as the paper predicts.  ``next`` emits completed
+    objects round-robin across partitions.
+
+    The original static K-partition class survives under this name (and
+    the deprecated :data:`PartitionedDeviceServerAssembly` alias) so
+    existing imports keep working; new code that wants live queries,
+    admission control, or caching should use
+    :class:`repro.service.server.AssemblyService` directly.
     """
 
     def __init__(
@@ -140,37 +154,58 @@ class DeviceServerAssembly(VolcanoIterator):
         **assembly_kwargs,
     ) -> None:
         super().__init__()
-        partitions = _partition_roots(list(roots), n_partitions)
-        merged: List[Oid] = []
-        cursors = [0] * len(partitions)
-        exhausted = 0
-        while exhausted < len(partitions):
-            exhausted = 0
-            for index, part in enumerate(partitions):
-                if cursors[index] < len(part):
-                    merged.append(part[cursors[index]])
-                    cursors[index] += 1
-                else:
-                    exhausted += 1
-        self.operator = Assembly(
-            ListSource(merged),
-            store,
-            template,
-            window_size=window_size,
-            scheduler=scheduler,
-            **assembly_kwargs,
-        )
+        if scheduler != "elevator":
+            raise AssemblyError(
+                "the device server schedules with its global elevator; "
+                f"per-partition scheduler {scheduler!r} is not supported"
+            )
+        self._partitions = _partition_roots(list(roots), n_partitions)
+        self._store = store
+        self._template = template
+        self._per_window = max(1, window_size // n_partitions)
+        self._assembly_kwargs = assembly_kwargs
+        self._server: Optional["DeviceServer"] = None
 
     def _open(self) -> None:
-        self.operator.open()
+        from repro.service.device_server import DeviceServer
+
+        self._server = DeviceServer(self._store, starvation_bound=None)
+        for part in self._partitions:
+            self._server.register(
+                part,
+                self._template,
+                window_size=self._per_window,
+                **self._assembly_kwargs,
+            )
 
     def _next(self) -> Optional[Row]:
-        return self.operator.next()
+        assert self._server is not None
+        while True:
+            emitted = self._server.next_result()
+            if emitted is not None:
+                return emitted[1]
+            if not self._server.step():
+                return None
 
     def _close(self) -> None:
-        if self.operator.is_open:
-            self.operator.close()
+        # Release any pins still held by unfinished queries; the server
+        # (and its per-query stats) stay readable until the next open.
+        if self._server is not None:
+            for query in self._server.active_queries():
+                if query.assembly.is_open:
+                    query.assembly.close()
 
     def total_fetches(self) -> int:
         """Object fetches through the device server."""
-        return self.operator.stats.fetches
+        if self._server is None:
+            return 0
+        return sum(
+            query.stats.fetches
+            for query in self._server.active_queries()
+        )
+
+
+#: Deprecated alias, kept so pre-service import sites keep working.
+#: Use :class:`DeviceServerAssembly` (static partitions) or the full
+#: :class:`repro.service.server.AssemblyService` (live clients).
+PartitionedDeviceServerAssembly = DeviceServerAssembly

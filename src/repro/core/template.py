@@ -23,6 +23,7 @@ detection and buffer-bound math).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -361,6 +362,36 @@ class Template:
     def has_predicates(self) -> bool:
         """Does any node carry a predicate?"""
         return self.predicate_count > 0
+
+    def fingerprint(self) -> str:
+        """Stable digest of the template's structure and annotations.
+
+        Two templates share a fingerprint exactly when they request the
+        same assembly: same tree shape (labels, slots), same shared
+        borders and degrees, and same predicates (by name and
+        selectivity — predicate *functions* are opaque, so distinct
+        predicates should carry distinct names).  The assembly service
+        keys its result cache by (root OID, fingerprint).
+        """
+        self._require_finalized()
+        parts: List[str] = []
+
+        def render(node: TemplateNode, slot: Optional[int]) -> None:
+            predicate = ""
+            if node.predicate is not None:
+                predicate = (
+                    f"{node.predicate.name}@{node.predicate.selectivity!r}"
+                )
+            parts.append(
+                f"{slot}|{node.label}|{node.type_name}|{int(node.shared)}"
+                f"|{node.sharing_degree!r}|{predicate}"
+            )
+            for child_slot in node.child_slots():
+                render(node.children[child_slot], child_slot)
+            parts.append(")")
+
+        render(self.root, None)
+        return hashlib.sha1("\n".join(parts).encode()).hexdigest()
 
     def describe(self) -> str:
         """Multi-line, indented rendering (for logs and docs)."""

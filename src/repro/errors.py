@@ -117,3 +117,20 @@ class SchedulerError(AssemblyError):
 
 class WindowError(AssemblyError):
     """Sliding-window bookkeeping failed."""
+
+
+# ---------------------------------------------------------------------------
+# Assembly service
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for assembly-service failures."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected a request: budget and wait queue full."""
+
+
+class ServiceStateError(ServiceError):
+    """A service request was driven outside its lifecycle."""

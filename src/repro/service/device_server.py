@@ -1,0 +1,474 @@
+"""The device server: one global elevator sweep for many live queries.
+
+Section 7 of the paper: "each server would maintain a queue of requests
+and would fetch objects on behalf of one or more assembly operators."
+Where :class:`repro.core.parallel.DeviceServerAssembly` demonstrated the
+idea for K *static* partitions of one root set, this module generalizes
+it to a dynamic registry of independent client queries:
+
+* Each registered query is an ordinary :class:`~repro.core.assembly.
+  Assembly` operator, with its own window, template and root stream —
+  but its scheduler is a :class:`_ProxyScheduler` that forwards every
+  unresolved reference into the server's **global** pool.
+* The global pool keeps one elevator (SCAN) queue per physical device
+  (multi-device aware via :class:`~repro.storage.multidisk.
+  MultiDeviceDisk`), so all concurrent queries share a single sweep per
+  head — the exclusive-control assumption restored service-wide.
+* Fairness: pure SCAN can park on one query's hot region while another
+  query's references wait at the far end of the disk.  The server
+  counts, per query, how many global resolutions have happened since
+  the query was last served; any query starved past
+  ``starvation_bound`` preempts the sweep and gets its nearest
+  reference served next.  Completed objects are emitted round-robin
+  across queries with output pending.
+
+Every tie in the sweep breaks on a global admission sequence number, so
+a given registration order replays the exact same fetch sequence —
+tests rely on this determinism.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.assembled import AssembledComplexObject
+from repro.core.assembly import Assembly
+from repro.core.schedulers import (
+    ReferenceScheduler,
+    UnresolvedReference,
+)
+from repro.core.template import Template
+from repro.errors import AssemblyError, SchedulerError, ServiceStateError
+from repro.storage.multidisk import MultiDeviceDisk
+from repro.storage.oid import Oid
+from repro.storage.store import ObjectStore
+from repro.volcano.iterator import ListSource, VolcanoIterator
+
+#: Default starvation bound: a query never waits more than this many
+#: global resolutions between services while it has references pending.
+DEFAULT_STARVATION_BOUND = 64
+
+#: Sort key of one pooled entry: (page, -rejection, global seq).
+_EntryKey = Tuple[int, float, int]
+
+
+class _ProxyScheduler(ReferenceScheduler):
+    """Per-query scheduler that forwards into the server's global pool.
+
+    The owning :class:`~repro.core.assembly.Assembly` believes this is
+    its private reference pool; every ``add`` lands in the device
+    server's per-device elevator queues tagged with the query id, and
+    ``pop`` is forbidden — only the server drains the pool, through
+    :meth:`Assembly.resolve_external`.
+    """
+
+    name = "device-server-proxy"
+
+    def __init__(self, server: "DeviceServer", query_id: int) -> None:
+        super().__init__()
+        self._server = server
+        self._query_id = query_id
+
+    def add(self, ref: UnresolvedReference) -> None:
+        """Forward one reference into the global pool."""
+        self.ops += 1
+        self._server._enqueue(self._query_id, ref)
+
+    def pop(self) -> UnresolvedReference:
+        """Forbidden: the device server owns draining."""
+        raise SchedulerError(
+            "query references are drained by the device server; "
+            "drive the query through DeviceServer.step()"
+        )
+
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        """Retract this query's references for an aborted object."""
+        removed = self._server._retract(self._query_id, owner)
+        self.ops += len(removed)
+        return removed
+
+    def __len__(self) -> int:
+        return self._server.pending_of(self._query_id)
+
+
+class _DeviceQueue:
+    """One device's share of the global pool: a SCAN-ordered list."""
+
+    def __init__(self, head_fn) -> None:
+        self._head_fn = head_fn
+        # (page_id, -rejection, seq, query_id, ref), kept sorted.
+        self._entries: List[Tuple[int, float, int, int, UnresolvedReference]] = []
+        self._direction = 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, query_id: int, seq: int, ref: UnresolvedReference) -> None:
+        """Insert one tagged reference in sweep order."""
+        insort(
+            self._entries,
+            (ref.page_id, -ref.rejection, seq, query_id, ref),
+        )
+
+    def _split(self, head: int) -> int:
+        return bisect_left(
+            self._entries, (head, float("-inf"), -1, -1, None)  # type: ignore[arg-type]
+        )
+
+    def pop_next(self) -> Tuple[int, UnresolvedReference]:
+        """Pop the SCAN-next entry for this device's head."""
+        head = self._head_fn()
+        split = self._split(head)
+        if self._direction > 0:
+            if split < len(self._entries):
+                index = split
+            else:
+                self._direction = -1
+                index = len(self._entries) - 1
+        else:
+            if split > 0:
+                index = split - 1
+            else:
+                self._direction = 1
+                index = 0
+        _page, _rej, _seq, query_id, ref = self._entries.pop(index)
+        return query_id, ref
+
+    def pop_for_query(self, query_id: int) -> Tuple[int, UnresolvedReference]:
+        """Pop the entry of ``query_id`` nearest this device's head.
+
+        The starvation override: instead of the global SCAN-next entry,
+        serve the starved query's cheapest pending fetch.  Linear scan —
+        the override is rare by construction.
+        """
+        head = self._head_fn()
+        best_index = -1
+        best_cost: Optional[Tuple[int, int]] = None
+        for index, entry in enumerate(self._entries):
+            if entry[3] != query_id:
+                continue
+            cost = (abs(entry[0] - head), entry[2])
+            if best_cost is None or cost < best_cost:
+                best_index = index
+                best_cost = cost
+        if best_index < 0:
+            raise SchedulerError(
+                f"query {query_id} has no pending reference on this device"
+            )
+        _page, _rej, _seq, owner_query, ref = self._entries.pop(best_index)
+        return owner_query, ref
+
+    def retract(self, query_id: int, owner: int) -> List[UnresolvedReference]:
+        """Remove every entry of one query's aborted complex object."""
+        removed = [
+            entry[4]
+            for entry in self._entries
+            if entry[3] == query_id and entry[4].owner == owner
+        ]
+        if removed:
+            self._entries = [
+                entry
+                for entry in self._entries
+                if not (entry[3] == query_id and entry[4].owner == owner)
+            ]
+        return removed
+
+    def has_query(self, query_id: int) -> bool:
+        """Any pending entry of ``query_id`` on this device?"""
+        return any(entry[3] == query_id for entry in self._entries)
+
+
+class ClientQuery:
+    """One live client query registered with a device server.
+
+    Wraps the query's :class:`~repro.core.assembly.Assembly` operator
+    plus the service-side bookkeeping: output buffer, starvation
+    counter, and completion flag.  Handed back by
+    :meth:`DeviceServer.register`; results are taken with
+    :meth:`take_results` (or via the server's round-robin
+    :meth:`DeviceServer.next_result`).
+    """
+
+    def __init__(self, query_id: int, assembly: Assembly) -> None:
+        self.query_id = query_id
+        self.assembly = assembly
+        #: completed complex objects not yet taken by the client.
+        self.output: List[AssembledComplexObject] = []
+        #: global resolutions since this query was last served.
+        self.waited = 0
+        #: resolutions served to this query (fairness diagnostics).
+        self.served = 0
+        self.finished = False
+
+    @property
+    def stats(self):
+        """The underlying operator's :class:`AssemblyStats`."""
+        return self.assembly.stats
+
+    def take_results(self) -> List[AssembledComplexObject]:
+        """Hand over (and clear) the buffered completed objects."""
+        out = self.output
+        self.output = []
+        return out
+
+
+class DeviceServer:
+    """Multiplexes many client queries over shared storage devices.
+
+    Parameters
+    ----------
+    store:
+        The shared object store.  If its disk is a
+        :class:`MultiDeviceDisk`, the server keeps one elevator queue
+        per device; otherwise a single queue sweeps the lone head.
+    starvation_bound:
+        Maximum global resolutions a query with pending references may
+        wait between services (per-query fairness).  ``None`` disables
+        the bound (pure global SCAN).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        starvation_bound: Optional[int] = DEFAULT_STARVATION_BOUND,
+    ) -> None:
+        if starvation_bound is not None and starvation_bound <= 0:
+            raise ServiceStateError("starvation_bound must be positive")
+        self.store = store
+        self.starvation_bound = starvation_bound
+        disk = store.disk
+        if isinstance(disk, MultiDeviceDisk):
+            self._queues = [
+                _DeviceQueue(self._head_fn(disk, device))
+                for device in range(disk.n_devices)
+            ]
+            self._pages_per_device: Optional[int] = disk.pages_per_device
+        else:
+            self._queues = [_DeviceQueue(lambda: disk.head_position)]
+            self._pages_per_device = None
+        self._queries: Dict[int, ClientQuery] = {}
+        self._pending: Dict[int, int] = {}
+        self._next_query_id = 0
+        self._seq = 0
+        self._emit_turn = 0
+        #: total references resolved across all queries (the service clock).
+        self.resolutions = 0
+
+    @staticmethod
+    def _head_fn(disk: MultiDeviceDisk, device: int):
+        return lambda: disk.head_of(device)
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        roots: Union[VolcanoIterator, Iterable[Oid]],
+        template: Template,
+        window_size: int = 8,
+        **assembly_kwargs,
+    ) -> ClientQuery:
+        """Admit a new live query; its root references enter the pool.
+
+        ``roots`` may be any Volcano iterator yielding root OIDs (or a
+        plain iterable, wrapped in a :class:`ListSource`).  Remaining
+        keyword arguments go to :class:`~repro.core.assembly.Assembly`
+        unchanged (sharing statistics, selective assembly, …).
+        """
+        if "scheduler" in assembly_kwargs:
+            raise ServiceStateError(
+                "device-server queries cannot choose a private scheduler; "
+                "the server owns the reference pool"
+            )
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        source = (
+            roots
+            if isinstance(roots, VolcanoIterator)
+            else ListSource(list(roots))
+        )
+        proxy = _ProxyScheduler(self, query_id)
+        assembly = Assembly(
+            source,
+            self.store,
+            template,
+            window_size=window_size,
+            scheduler=proxy,
+            **assembly_kwargs,
+        )
+        query = ClientQuery(query_id, assembly)
+        self._queries[query_id] = query
+        self._pending[query_id] = 0
+        assembly.open()  # fills the window; roots flow into the pool
+        self._collect(query)
+        return query
+
+    def deregister(self, query_id: int) -> None:
+        """Drop a query (finished or cancelled); retracts its references."""
+        query = self._queries.pop(query_id, None)
+        if query is None:
+            return
+        if query.assembly.is_open:
+            query.assembly.close()  # retracts in-window owners' refs
+        self._pending.pop(query_id, None)
+
+    # -- pool maintenance (called by the proxy schedulers) --------------------
+
+    def _device_of(self, page_id: int) -> int:
+        if self._pages_per_device is None:
+            return 0
+        return page_id // self._pages_per_device
+
+    def _enqueue(self, query_id: int, ref: UnresolvedReference) -> None:
+        self._seq += 1
+        self._queues[self._device_of(ref.page_id)].add(
+            query_id, self._seq, ref
+        )
+        self._pending[query_id] += 1
+
+    def _retract(self, query_id: int, owner: int) -> List[UnresolvedReference]:
+        removed: List[UnresolvedReference] = []
+        for queue in self._queues:
+            removed.extend(queue.retract(query_id, owner))
+        if removed:
+            self._pending[query_id] -= len(removed)
+        return removed
+
+    def pending_of(self, query_id: int) -> int:
+        """Pending pool references of one query."""
+        return self._pending.get(query_id, 0)
+
+    def pending_total(self) -> int:
+        """Pending pool references across all queries."""
+        return sum(len(queue) for queue in self._queues)
+
+    def queue_depths(self) -> List[int]:
+        """Pending references per device (balance diagnostics)."""
+        return [len(queue) for queue in self._queues]
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _starved_query(self) -> Optional[int]:
+        if self.starvation_bound is None:
+            return None
+        worst_id: Optional[int] = None
+        worst_wait = self.starvation_bound - 1
+        for query_id, query in self._queries.items():
+            if query.finished or self._pending[query_id] == 0:
+                continue
+            if query.waited > worst_wait:
+                worst_id = query_id
+                worst_wait = query.waited
+        return worst_id
+
+    def _pop_next(self) -> Tuple[int, UnresolvedReference]:
+        starved = self._starved_query()
+        if starved is not None:
+            for queue in self._queues:
+                if queue.has_query(starved):
+                    return queue.pop_for_query(starved)
+        # Deepest queue first: elevator sweeps pay off in proportion to
+        # queue depth (same rule as MultiDeviceScheduler); ties resolve
+        # to the lowest device index, deterministically.
+        best_queue = None
+        best_depth = 0
+        for queue in self._queues:
+            if len(queue) > best_depth:
+                best_queue = queue
+                best_depth = len(queue)
+        if best_queue is None:
+            raise SchedulerError("device server pool is empty")
+        return best_queue.pop_next()
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Resolve one reference globally; ``False`` when idle.
+
+        Pops the sweep-next (or starvation-overridden) reference, hands
+        it to the owning query's operator, and collects any complex
+        objects that completed as a result.  When the pool is empty but
+        some query is unfinished, stuck deferred references are
+        released (the selective-assembly corner the core operator
+        handles the same way).
+        """
+        if self.pending_total() == 0 and not self._release_stuck():
+            return False
+        query_id, ref = self._pop_next()
+        self._pending[query_id] -= 1
+        query = self._queries[query_id]
+        self.resolutions += 1
+        for other_id, other in self._queries.items():
+            if other.finished or other_id == query_id:
+                continue
+            if self._pending[other_id] > 0:
+                other.waited += 1
+        query.waited = 0
+        query.served += 1
+        query.assembly.resolve_external(ref)
+        self._collect(query)
+        return True
+
+    def _release_stuck(self) -> bool:
+        released = False
+        for query in self._queries.values():
+            if query.finished or self._pending[query.query_id] > 0:
+                continue
+            if not query.assembly.is_drained():
+                query.assembly.release_stuck_deferred()
+                released = self._pending[query.query_id] > 0 or released
+                self._collect(query)
+        return released and self.pending_total() > 0
+
+    def _collect(self, query: ClientQuery) -> None:
+        query.output.extend(query.assembly.drain_emitted())
+        if (
+            not query.finished
+            and self._pending[query.query_id] == 0
+            and query.assembly.is_drained()
+        ):
+            query.finished = True
+            if query.assembly.is_open:
+                query.assembly.close()
+
+    def run(self) -> None:
+        """Step until every registered query has finished."""
+        while self.step():
+            pass
+        unfinished = [
+            q.query_id for q in self._queries.values() if not q.finished
+        ]
+        if unfinished:
+            raise AssemblyError(
+                f"device server idle with unfinished queries {unfinished} "
+                f"(template does not match the data?)"
+            )
+
+    # -- results ------------------------------------------------------------
+
+    def active_queries(self) -> List[ClientQuery]:
+        """Registered queries, registration order."""
+        return list(self._queries.values())
+
+    def unfinished(self) -> int:
+        """Number of registered queries still assembling."""
+        return sum(1 for q in self._queries.values() if not q.finished)
+
+    def next_result(self) -> Optional[Tuple[int, AssembledComplexObject]]:
+        """Round-robin one completed object across queries with output.
+
+        Returns ``(query_id, complex object)`` or ``None`` when no
+        query has buffered output.  Rotation is by query id so no
+        client's completions monopolize the emission stream.
+        """
+        ids = sorted(self._queries)
+        if not ids:
+            return None
+        n = len(ids)
+        for offset in range(n):
+            query_id = ids[(self._emit_turn + offset) % n]
+            query = self._queries[query_id]
+            if query.output:
+                self._emit_turn = (self._emit_turn + offset + 1) % n
+                return query_id, query.output.pop(0)
+        return None

@@ -1,0 +1,148 @@
+"""Per-request and service-wide metrics.
+
+Built on :mod:`repro.core.trace`: every request run by the
+:class:`~repro.service.server.AssemblyService` carries an
+:class:`~repro.core.trace.AssemblyTracer`, and its
+:class:`RequestMetrics` are distilled from the trace (fetches, aborts,
+emissions) plus the service clock (queue wait, service time).  The
+service clock is the device server's resolution counter — deterministic
+on the simulated disk, unlike wall time.
+
+Global counters aggregate what no single request can see: disk seek
+totals, buffer faults, cache traffic, and admission outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import trace
+from repro.core.trace import AssemblyTracer
+
+
+@dataclass
+class RequestMetrics:
+    """One request's life, in service-clock ticks and trace counts."""
+
+    request_id: int
+    #: service clock when the request arrived.
+    submitted_at: int = 0
+    #: service clock when assembly actually started (admission grant).
+    started_at: Optional[int] = None
+    #: service clock when the last complex object completed.
+    completed_at: Optional[int] = None
+    #: complex objects served straight from the result cache.
+    cache_hits: int = 0
+    #: granted window size (after any admission shrink).
+    window_size: int = 0
+    #: was the window shrunk below what the client asked?
+    shrunk: bool = False
+    emitted: int = 0
+    aborted: int = 0
+    fetches: int = 0
+    shared_links: int = 0
+
+    @property
+    def queue_wait(self) -> Optional[int]:
+        """Ticks spent waiting for admission (None while still queued)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Submit-to-done ticks (None while incomplete)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def absorb_trace(self, tracer: AssemblyTracer) -> None:
+        """Fold a finished request's trace into the counters."""
+        counts = tracer.counts()
+        self.fetches = counts.get(trace.FETCHED, 0)
+        self.emitted = counts.get(trace.EMITTED, 0)
+        self.aborted = counts.get(trace.ABORTED, 0)
+        self.shared_links = counts.get(trace.LINKED_SHARED, 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat view for reports."""
+        return {
+            "request_id": self.request_id,
+            "queue_wait": self.queue_wait,
+            "latency": self.latency,
+            "window": self.window_size,
+            "shrunk": self.shrunk,
+            "cache_hits": self.cache_hits,
+            "emitted": self.emitted,
+            "aborted": self.aborted,
+            "fetches": self.fetches,
+            "shared_links": self.shared_links,
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters across the whole service lifetime."""
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_rejected: int = 0
+    requests_shrunk: int = 0
+    requests_queued: int = 0
+    objects_emitted: int = 0
+    objects_aborted: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    per_request: Dict[int, RequestMetrics] = field(default_factory=dict)
+
+    def open_request(
+        self, request_id: int, submitted_at: int
+    ) -> RequestMetrics:
+        """Start tracking one request."""
+        metrics = RequestMetrics(
+            request_id=request_id, submitted_at=submitted_at
+        )
+        self.per_request[request_id] = metrics
+        self.requests_submitted += 1
+        return metrics
+
+    def finished(self) -> List[RequestMetrics]:
+        """Metrics of completed requests, by completion time."""
+        done = [
+            m for m in self.per_request.values() if m.completed_at is not None
+        ]
+        return sorted(done, key=lambda m: (m.completed_at, m.request_id))
+
+    def latencies(self) -> List[int]:
+        """Completed-request latencies in ticks, ascending."""
+        return sorted(
+            m.latency for m in self.per_request.values()
+            if m.latency is not None
+        )
+
+    def percentile_latency(self, fraction: float) -> Optional[int]:
+        """Latency at ``fraction`` (0–1] of completed requests."""
+        ordered = self.latencies()
+        if not ordered:
+            return None
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Global counters as a flat dict (per-request detail omitted)."""
+        return {
+            "requests_submitted": self.requests_submitted,
+            "requests_completed": self.requests_completed,
+            "requests_rejected": self.requests_rejected,
+            "requests_shrunk": self.requests_shrunk,
+            "requests_queued": self.requests_queued,
+            "objects_emitted": self.objects_emitted,
+            "objects_aborted": self.objects_aborted,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "p50_latency": self.percentile_latency(0.50),
+            "p95_latency": self.percentile_latency(0.95),
+        }

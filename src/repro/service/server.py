@@ -1,0 +1,291 @@
+"""The assembly service façade: ``submit`` / ``poll`` / ``result``.
+
+:class:`AssemblyService` is the synchronous front of the §7 device
+server.  A client submits an assembly request — a set of root OIDs, a
+template, a window size — and gets a request id; the service multiplexes
+every admitted request's references into the device server's global
+elevator sweep, serves repeat roots from the result cache without
+touching the disk at all, and enforces the admission controller's
+buffer budget by shrinking, queueing, or rejecting requests.
+
+The execution model is cooperative and deterministic: :meth:`step`
+advances the whole service by one reference resolution, :meth:`run`
+drives it until idle, and :meth:`result` blocks (by stepping) until one
+request finishes.  The service clock is the device server's resolution
+counter, so identical request sequences produce identical metrics on
+the simulated disk.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.assembled import AssembledComplexObject
+from repro.core.template import Template
+from repro.core.trace import AssemblyTracer
+from repro.errors import ServiceOverloadError, ServiceStateError
+from repro.service.admission import AdmissionController, AdmissionTicket
+from repro.service.cache import AssembledObjectCache
+from repro.service.device_server import ClientQuery, DeviceServer
+from repro.service.metrics import RequestMetrics, ServiceMetrics
+from repro.storage.oid import Oid
+from repro.storage.store import ObjectStore
+
+
+class RequestStatus(Enum):
+    """Lifecycle of one submitted request."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class _Request:
+    """Service-side state of one submitted request."""
+
+    def __init__(
+        self,
+        request_id: int,
+        template: Template,
+        fingerprint: str,
+        metrics: RequestMetrics,
+    ) -> None:
+        self.request_id = request_id
+        self.template = template
+        self.fingerprint = fingerprint
+        self.metrics = metrics
+        self.status = RequestStatus.QUEUED
+        self.results: List[AssembledComplexObject] = []
+        self.pending_roots: List[Oid] = []
+        self.ticket: Optional[AdmissionTicket] = None
+        self.query: Optional[ClientQuery] = None
+        self.tracer: Optional[AssemblyTracer] = None
+        self.assembly_kwargs: Dict[str, object] = {}
+        self.cache_results: bool = True
+
+
+class AssemblyService:
+    """Serves concurrent assembly requests against one object store.
+
+    Parameters
+    ----------
+    store:
+        The shared (already laid out) object store.
+    budget_pages:
+        Admission budget in pinnable pages.  Defaults to the store
+        buffer's capacity when that is bounded, else unlimited.
+    cache_capacity:
+        Result-cache size in complex objects; ``0`` disables caching.
+    starvation_bound:
+        Device-server fairness bound (see :class:`DeviceServer`).
+    max_waiting / min_window:
+        Admission wait-queue capacity and smallest shrunk window.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        budget_pages: Optional[int] = None,
+        cache_capacity: int = 256,
+        starvation_bound: Optional[int] = 64,
+        max_waiting: int = 16,
+        min_window: int = 1,
+    ) -> None:
+        self.store = store
+        if budget_pages is None:
+            budget_pages = store.buffer.capacity
+        self.server = DeviceServer(store, starvation_bound=starvation_bound)
+        self.admission = AdmissionController(
+            budget_pages=budget_pages,
+            max_waiting=max_waiting,
+            min_window=min_window,
+            buffer=store.buffer,
+        )
+        self.cache: Optional[AssembledObjectCache] = None
+        if cache_capacity > 0:
+            self.cache = AssembledObjectCache(cache_capacity)
+            self.cache.wire(store)
+        self.metrics = ServiceMetrics()
+        self._requests: Dict[int, _Request] = {}
+        self._tickets: Dict[int, _Request] = {}
+        self._next_request_id = 0
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """The service clock: global references resolved so far."""
+        return self.server.resolutions
+
+    def submit(
+        self,
+        roots: Iterable[Oid],
+        template: Template,
+        window_size: int = 8,
+        priority: bool = False,
+        use_cache: bool = True,
+        **assembly_kwargs,
+    ) -> int:
+        """Accept one assembly request; returns its request id.
+
+        Roots already in the result cache are answered immediately (no
+        admission, no disk); the rest go through admission control and,
+        once granted, into the device server.  Raises
+        :class:`~repro.errors.ServiceOverloadError` when the budget is
+        exhausted and the wait queue is full.
+        """
+        template = template.finalize()
+        fingerprint = template.fingerprint()
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        metrics = self.metrics.open_request(request_id, self.clock)
+        request = _Request(request_id, template, fingerprint, metrics)
+        request.assembly_kwargs = dict(assembly_kwargs)
+        request.cache_results = use_cache and self.cache is not None
+        self._requests[request_id] = request
+
+        for root in roots:
+            cached = None
+            if use_cache and self.cache is not None:
+                cached = self.cache.get(root, fingerprint)
+                if cached is not None:
+                    self.metrics.cache_hits += 1
+                    metrics.cache_hits += 1
+                else:
+                    self.metrics.cache_misses += 1
+            if cached is not None:
+                request.results.append(cached)
+            else:
+                request.pending_roots.append(root)
+
+        if not request.pending_roots:
+            self._finish(request)
+            return request_id
+
+        # Admission may raise ServiceOverloadError: the request is then
+        # dropped entirely (load shedding), not left half-registered.
+        try:
+            ticket = self.admission.submit(
+                request_id, window_size, template, priority=priority
+            )
+        except ServiceOverloadError:
+            del self._requests[request_id]
+            del self.metrics.per_request[request_id]
+            self.metrics.requests_submitted -= 1
+            self.metrics.requests_rejected += 1
+            raise
+        request.ticket = ticket
+        if ticket.waiting:
+            self.metrics.requests_queued += 1
+            return request_id
+        self._start(request)
+        return request_id
+
+    def _start(self, request: _Request) -> None:
+        assert request.ticket is not None and not request.ticket.waiting
+        request.tracer = AssemblyTracer()
+        request.query = self.server.register(
+            request.pending_roots,
+            request.template,
+            window_size=request.ticket.window_size,
+            tracer=request.tracer,
+            **request.assembly_kwargs,
+        )
+        request.status = RequestStatus.RUNNING
+        request.metrics.started_at = self.clock
+        request.metrics.window_size = request.ticket.window_size
+        request.metrics.shrunk = request.ticket.shrunk
+        if request.ticket.shrunk:
+            self.metrics.requests_shrunk += 1
+        self._collect(request)
+
+    # -- progress ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance the service by one global resolution.
+
+        Returns ``False`` when nothing is left to do: no pending
+        references, no running queries, no admissible waiters.
+        """
+        advanced = self.server.step()
+        finished_any = False
+        for request in list(self._requests.values()):
+            if request.status is RequestStatus.RUNNING:
+                self._collect(request)
+                if request.query is not None and request.query.finished:
+                    self._finish(request)
+                    finished_any = True
+        return advanced or finished_any
+
+    def run(self) -> None:
+        """Step until every submitted request is done."""
+        while self.step():
+            pass
+        stuck = [
+            r.request_id
+            for r in self._requests.values()
+            if r.status is not RequestStatus.DONE
+        ]
+        if stuck:
+            raise ServiceStateError(
+                f"service idle with unfinished requests {stuck}"
+            )
+
+    def _collect(self, request: _Request) -> None:
+        if request.query is None:
+            return
+        for assembled in request.query.take_results():
+            request.results.append(assembled)
+            if request.cache_results and self.cache is not None:
+                self.cache.put(request.fingerprint, assembled)
+
+    def _finish(self, request: _Request) -> None:
+        if request.query is not None:
+            self._collect(request)
+            stats = request.query.stats
+            self.metrics.objects_emitted += stats.emitted
+            self.metrics.objects_aborted += stats.aborted
+            self.server.deregister(request.query.query_id)
+        if request.tracer is not None:
+            request.metrics.absorb_trace(request.tracer)
+        request.status = RequestStatus.DONE
+        request.metrics.completed_at = self.clock
+        self.metrics.requests_completed += 1
+        if request.ticket is not None:
+            for started in self.admission.release(request.ticket):
+                self._start(self._requests[started.request_id])
+            request.ticket = None
+
+    # -- client API ----------------------------------------------------------
+
+    def poll(self, request_id: int) -> RequestStatus:
+        """Current lifecycle state of one request."""
+        return self._request(request_id).status
+
+    def result(self, request_id: int) -> List[AssembledComplexObject]:
+        """Drive the service until ``request_id`` finishes; its objects.
+
+        Cache-served objects come first, then assembled ones in
+        completion order.  Aborted (predicate-rejected) objects are
+        simply absent, as with the bare assembly operator.
+        """
+        request = self._request(request_id)
+        while request.status is not RequestStatus.DONE:
+            if not self.step():
+                raise ServiceStateError(
+                    f"request {request_id} cannot finish: service is idle"
+                )
+        return list(request.results)
+
+    def request_metrics(self, request_id: int) -> RequestMetrics:
+        """Per-request metrics (final once the request is done)."""
+        return self._request(request_id).metrics
+
+    def _request(self, request_id: int) -> _Request:
+        try:
+            return self._requests[request_id]
+        except KeyError:
+            raise ServiceStateError(
+                f"unknown request id {request_id}"
+            ) from None

@@ -114,6 +114,7 @@ class BufferManager:
         self._clock_hand_page: Optional[int] = None
         self._ever_resident: Set[int] = set()
         self._pinned_count = 0
+        self._reserved_frames = 0
         self.stats = BufferStats()
 
     # -- introspection --------------------------------------------------------
@@ -141,6 +142,50 @@ class BufferManager:
     def is_resident(self, page_id: int) -> bool:
         """Is the page in the pool right now?"""
         return page_id in self._frames
+
+    # -- reservations (admission-control budget) ------------------------------
+
+    @property
+    def reserved_frames(self) -> int:
+        """Frames promised to admitted-but-running pinning workloads."""
+        return self._reserved_frames
+
+    def unreserved_capacity(self) -> Optional[int]:
+        """Frames still reservable (``None`` on an unbounded pool)."""
+        if self._capacity is None:
+            return None
+        return self._capacity - self._reserved_frames
+
+    def reserve(self, n_frames: int) -> None:
+        """Promise ``n_frames`` to a future pinning workload.
+
+        Reservations are an accounting ledger for admission control
+        (the assembly service reserves each query's worst-case pin
+        bound before letting it run); they do not themselves pin or
+        evict frames.  Over-reserving a bounded pool raises
+        :class:`BufferFullError` so the caller can queue or shrink the
+        workload instead.
+        """
+        if n_frames < 0:
+            raise BufferFullError("cannot reserve a negative frame count")
+        if (
+            self._capacity is not None
+            and self._reserved_frames + n_frames > self._capacity
+        ):
+            raise BufferFullError(
+                f"reserving {n_frames} frames would exceed capacity "
+                f"{self._capacity} ({self._reserved_frames} already reserved)"
+            )
+        self._reserved_frames += n_frames
+
+    def unreserve(self, n_frames: int) -> None:
+        """Return frames reserved with :meth:`reserve`."""
+        if n_frames < 0 or n_frames > self._reserved_frames:
+            raise BufferFullError(
+                f"cannot unreserve {n_frames} of "
+                f"{self._reserved_frames} reserved frames"
+            )
+        self._reserved_frames -= n_frames
 
     # -- replacement ------------------------------------------------------------
 

@@ -14,7 +14,7 @@ With the paper's 96-byte payload this packs nine objects per 1 KB page.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import (
     DuplicateOidError,
@@ -50,6 +50,29 @@ class ObjectStore:
         self.fmt = fmt
         self.directory = OidDirectory()
         self._stored_size = OID_SIZE + fmt.payload_size
+        self._write_hooks: List[Callable[[Oid], None]] = []
+
+    # -- write hooks ------------------------------------------------------------
+
+    def add_write_hook(self, hook: Callable[[Oid], None]) -> None:
+        """Register a callback invoked with every written OID.
+
+        The assembly service's result cache subscribes here so any
+        store write — bulk load or in-place update — invalidates cached
+        complex objects containing the written object.
+        """
+        self._write_hooks.append(hook)
+
+    def remove_write_hook(self, hook: Callable[[Oid], None]) -> None:
+        """Unregister a previously added write hook (no-op if absent)."""
+        try:
+            self._write_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _notify_write(self, oid: Oid) -> None:
+        for hook in self._write_hooks:
+            hook(oid)
 
     # -- geometry ---------------------------------------------------------------
 
@@ -98,6 +121,7 @@ class ObjectStore:
         self._disk.write(page)
         rid = Rid(page_id, slot)
         self.directory.register(oid, rid)
+        self._notify_write(oid)
         return rid
 
     def store_page(
@@ -122,6 +146,7 @@ class ObjectStore:
         self._disk.write(page)
         for (oid, _record), rid in zip(items, rids):
             self.directory.register(oid, rid)
+            self._notify_write(oid)
         return rids
 
     # -- fetching (measured phase) ----------------------------------------------------
@@ -170,6 +195,23 @@ class ObjectStore:
         """Release the pin taken by :meth:`fetch_pinned`."""
         rid = self.directory.lookup(oid)
         self.buffer.unfix(rid.page_id)
+
+    # -- updating (measured phase) -----------------------------------------------
+
+    def overwrite(self, oid: Oid, record: ObjectRecord) -> None:
+        """Replace the stored record of an existing object in place.
+
+        Goes through the buffer (the frame is marked dirty), keeps the
+        object's physical address, and fires the write hooks — the
+        update path that forces the assembly service's result cache to
+        drop complex objects containing ``oid``.
+        """
+        if record.fmt != self.fmt:
+            raise RecordError("record format does not match store format")
+        rid = self.directory.lookup(oid)
+        with self.buffer.fixed(rid.page_id, dirty=True) as page:
+            page.update(rid.slot, oid.encode() + record.encode())
+        self._notify_write(oid)
 
     # -- scanning -------------------------------------------------------------------------
 

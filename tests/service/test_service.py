@@ -1,0 +1,157 @@
+"""End-to-end tests of the assembly service façade."""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, build_layout
+from repro.core.tuning import pin_bound
+from repro.errors import ServiceOverloadError, ServiceStateError
+from repro.service.server import AssemblyService, RequestStatus
+from repro.workloads.acob import make_template
+
+
+def build(n=30, buffer_capacity=None):
+    config = ExperimentConfig(
+        n_complex_objects=n,
+        clustering="inter-object",
+        scheduler="elevator",
+        window_size=8,
+        cluster_pages=64,
+        buffer_capacity=buffer_capacity,
+    )
+    return build_layout(config)
+
+
+class TestSubmitPollResult:
+    def test_two_requests_complete(self):
+        db, layout = build()
+        service = AssemblyService(layout.store)
+        template = make_template(db)
+        first = service.submit(layout.root_order[:15], template)
+        second = service.submit(layout.root_order[15:], template)
+        assert service.poll(first) is RequestStatus.RUNNING
+        results = service.result(first)
+        assert len(results) == 15
+        assert {c.root_oid for c in results} == set(layout.root_order[:15])
+        assert service.result(second) and service.poll(second) is RequestStatus.DONE
+        assert layout.store.buffer.pinned_pages == 0
+
+    def test_metrics_track_the_request_life(self):
+        db, layout = build(n=10)
+        service = AssemblyService(layout.store)
+        request = service.submit(layout.root_order, make_template(db))
+        service.result(request)
+        metrics = service.request_metrics(request)
+        assert metrics.queue_wait == 0
+        assert metrics.latency is not None and metrics.latency > 0
+        assert metrics.emitted == 10
+        assert metrics.fetches == 10 * 7
+        assert metrics.window_size == 8
+        snapshot = service.metrics.snapshot()
+        assert snapshot["requests_completed"] == 1
+        assert snapshot["objects_emitted"] == 10
+        assert snapshot["p50_latency"] == metrics.latency
+
+    def test_unknown_request_id(self):
+        _db, layout = build(n=5)
+        service = AssemblyService(layout.store)
+        with pytest.raises(ServiceStateError):
+            service.poll(99)
+
+    def test_determinism_across_identical_services(self):
+        seeks = []
+        for _ in range(2):
+            db, layout = build(n=20)
+            service = AssemblyService(layout.store)
+            template = make_template(db)
+            service.submit(layout.root_order[:10], template)
+            service.submit(layout.root_order[10:], template)
+            service.run()
+            seeks.append(list(layout.store.disk.stats.read_seeks))
+        assert seeks[0] == seeks[1]
+
+
+class TestCacheIntegration:
+    def test_repeat_submission_served_from_cache(self):
+        db, layout = build(n=12)
+        service = AssemblyService(layout.store)
+        template = make_template(db)
+        service.result(service.submit(layout.root_order, template))
+        reads_before = layout.store.disk.stats.reads
+        repeat = service.submit(layout.root_order, template)
+        assert service.poll(repeat) is RequestStatus.DONE
+        assert len(service.result(repeat)) == 12
+        assert layout.store.disk.stats.reads == reads_before
+        assert service.request_metrics(repeat).cache_hits == 12
+        assert service.request_metrics(repeat).latency == 0
+
+    def test_store_write_invalidates_exactly_the_touched_object(self):
+        db, layout = build(n=12)
+        service = AssemblyService(layout.store)
+        template = make_template(db)
+        first = service.result(service.submit(layout.root_order, template))
+        # Rewrite one component of the first complex object in place.
+        member = next(iter(first[0].scan())).oid
+        layout.store.overwrite(member, layout.store.fetch(member))
+        repeat = service.submit(layout.root_order, template)
+        metrics = service.request_metrics(repeat)
+        assert metrics.cache_hits == 11  # all but the invalidated one
+        assert service.poll(repeat) is RequestStatus.RUNNING
+        assert len(service.result(repeat)) == 12
+
+    def test_cache_disabled(self):
+        db, layout = build(n=6)
+        service = AssemblyService(layout.store, cache_capacity=0)
+        template = make_template(db)
+        service.result(service.submit(layout.root_order, template))
+        repeat = service.submit(layout.root_order, template)
+        assert service.poll(repeat) is RequestStatus.RUNNING
+        assert service.request_metrics(repeat).cache_hits == 0
+
+
+class TestAdmissionIntegration:
+    def test_budget_exhaustion_rejects_with_typed_error(self):
+        db, layout = build(n=20)
+        template = make_template(db)
+        budget = pin_bound(8, template)
+        service = AssemblyService(
+            layout.store, budget_pages=budget, max_waiting=0
+        )
+        first = service.submit(
+            layout.root_order[:10], template, window_size=8
+        )
+        with pytest.raises(ServiceOverloadError):
+            service.submit(layout.root_order[10:], template, window_size=8)
+        # The rejected request left no residue; the survivor completes.
+        assert service.metrics.requests_rejected == 1
+        assert len(service.result(first)) == 10
+        after = service.submit(layout.root_order[10:], template)
+        assert len(service.result(after)) == 10
+
+    def test_queued_request_starts_after_release(self):
+        db, layout = build(n=20)
+        template = make_template(db)
+        budget = pin_bound(8, template)
+        service = AssemblyService(
+            layout.store, budget_pages=budget, max_waiting=2, min_window=8
+        )
+        first = service.submit(layout.root_order[:10], template)
+        queued = service.submit(layout.root_order[10:], template)
+        assert service.poll(queued) is RequestStatus.QUEUED
+        service.run()
+        assert service.poll(queued) is RequestStatus.DONE
+        assert len(service.result(queued)) == 10
+        wait = service.request_metrics(queued).queue_wait
+        assert wait is not None and wait > 0
+        assert service.request_metrics(first).queue_wait == 0
+
+    def test_shrunk_window_still_completes(self):
+        db, layout = build(n=10)
+        template = make_template(db)
+        # Budget fits W=2 (13 pages) but not the asked W=8 (49).
+        service = AssemblyService(
+            layout.store, budget_pages=pin_bound(2, template)
+        )
+        request = service.submit(layout.root_order, template, window_size=8)
+        assert len(service.result(request)) == 10
+        metrics = service.request_metrics(request)
+        assert metrics.shrunk and metrics.window_size == 2

@@ -33,6 +33,7 @@ def run_example(name, argv=()):
         "hypermodel_documents.py",
         "query_api.py",
         "bill_of_materials.py",
+        "assembly_service.py",
     ],
 )
 def test_example_runs(script, capsys):
@@ -60,4 +61,5 @@ def test_examples_directory_complete():
         "hypermodel_documents.py",
         "query_api.py",
         "bill_of_materials.py",
+        "assembly_service.py",
     }
