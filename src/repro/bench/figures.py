@@ -972,5 +972,13 @@ def _register_service() -> None:
     ALL_FIGURES["service"] = figure_service
 
 
+def _register_batch() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    from repro.bench.batch import figure_batch
+
+    ALL_FIGURES["batch"] = figure_batch
+
+
 _register_baselines()
 _register_service()
+_register_batch()

@@ -60,6 +60,8 @@ class ExperimentConfig:
     cluster_pages: int = 512
     seed: int = 7
     layout_seed: int = 0
+    #: distinct pages per scheduler batch; 1 = the paper's unbatched loop.
+    batch_pages: int = 1
 
     def __post_init__(self) -> None:
         if self.clustering not in CLUSTERINGS:
@@ -76,6 +78,8 @@ class ExperimentResult:
     config: ExperimentConfig
     avg_seek: float
     reads: int
+    #: pages transferred (== reads unless runs were batched).
+    pages_read: int
     emitted: int
     aborted: int
     fetches: int
@@ -183,6 +187,7 @@ def build_assembly(
         window_size=config.window_size,
         scheduler=config.scheduler,
         use_sharing_statistics=config.use_sharing_statistics,
+        batch_pages=config.batch_pages,
     )
 
 
@@ -198,6 +203,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         config=config,
         avg_seek=disk_stats.avg_seek_per_read,
         reads=disk_stats.reads,
+        pages_read=disk_stats.pages_read,
         emitted=emitted,
         aborted=operator.stats.aborted,
         fetches=operator.stats.fetches,

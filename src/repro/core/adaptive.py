@@ -27,10 +27,13 @@ no predicates and the buffer has no relevant residents.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
-from repro.core.schedulers import ReferenceScheduler, UnresolvedReference
+from repro.core.schedulers import (
+    ReferenceScheduler,
+    SweepPool,
+    UnresolvedReference,
+)
 from repro.errors import SchedulerError
 
 #: Default detour budget, in pages, granted to a certain rejector
@@ -70,7 +73,7 @@ class AdaptiveElevatorScheduler(ReferenceScheduler):
             lambda _page: False
         )
         self._detour = detour_pages
-        self._entries: List[Tuple[int, float, int, UnresolvedReference]] = []
+        self._pool = SweepPool()
         self._direction = 1
         #: references served for free because their page was resident.
         self.resident_hits = 0
@@ -81,18 +84,14 @@ class AdaptiveElevatorScheduler(ReferenceScheduler):
 
     def add(self, ref: UnresolvedReference) -> None:
         self.ops += 1
-        insort(self._entries, (ref.page_id, -ref.rejection, ref.seq, ref))
+        self._pool.add(ref)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._pool)
 
     def remove_owner(self, owner: int) -> List[UnresolvedReference]:
-        removed = [e[3] for e in self._entries if e[3].owner == owner]
-        if removed:
-            self.ops += len(self._entries)
-            self._entries = [
-                e for e in self._entries if e[3].owner != owner
-            ]
+        removed = self._pool.remove_owner(owner)
+        self.ops += len(removed)
         return removed
 
     # -- selection ---------------------------------------------------------------
@@ -100,50 +99,67 @@ class AdaptiveElevatorScheduler(ReferenceScheduler):
     def pop(self) -> UnresolvedReference:
         self.require_nonempty()
         self.ops += 1
-        index = self._pick()
-        _page, _rej, _seq, ref = self._entries.pop(index)
+        ref = self._pick()
+        self._pool.remove_ref(ref)
         return ref
 
-    def _pick(self) -> int:
+    def _pick(self) -> UnresolvedReference:
         head = self._head_fn()
 
         # 1. Buffer awareness: any resident-page reference is free.
-        for index, (page, _rej, _seq, _ref) in enumerate(self._entries):
+        for page, _rej, _seq, ref in self._pool.live_entries():
             if self._resident_fn(page):
                 self.resident_hits += 1
-                return index
+                return ref
 
         # 2. The sweep-optimal (plain elevator) candidate.
-        base = self._scan_index(head)
+        entry, self._direction = self._pool.peek_next(head, self._direction)
+        base_ref = entry[3]
         if self._detour == 0:
-            return base
-        base_distance = abs(self._entries[base][0] - head)
+            return base_ref
+        base_distance = abs(entry[0] - head)
 
         # 3. Predicate awareness: a likelier rejector may pre-empt the
         #    sweep choice if its extra distance fits its detour budget.
-        best = base
-        best_rejection = self._entries[base][3].rejection
-        for index, (page, _rej, _seq, ref) in enumerate(self._entries):
+        best = base_ref
+        best_rejection = base_ref.rejection
+        for page, _rej, _seq, ref in self._pool.live_entries():
             if ref.rejection <= best_rejection:
                 continue
             extra = abs(page - head) - base_distance
             if extra <= ref.rejection * self._detour:
-                best = index
+                best = ref
                 best_rejection = ref.rejection
-        if best != base:
+        if best is not base_ref:
             self.detours += 1
         return best
 
-    def _scan_index(self, head: int) -> int:
-        split = bisect_left(
-            self._entries, (head, float("-inf"), -1, None)  # type: ignore[arg-type]
-        )
-        if self._direction > 0:
-            if split < len(self._entries):
-                return split
-            self._direction = -1
-            return len(self._entries) - 1
-        if split > 0:
-            return split - 1
-        self._direction = 1
-        return 0
+    def pop_batch(self, max_pages: int = 1) -> List[UnresolvedReference]:
+        """Batched pop: the chosen reference's whole page (plus its
+        contiguous continuation in the sweep direction) comes along.
+
+        The anchor is picked by the same buffer/predicate-aware logic
+        as :meth:`pop`, so batching changes *grouping*, not priorities.
+        A resident-page anchor batches only its own page — those
+        references are free, and extending the run would charge seeks
+        the buffer already paid.
+        """
+        self.require_nonempty()
+        self.ops += 1
+        anchor = self._pick()
+        was_resident = self._resident_fn(anchor.page_id)
+        self._pool.remove_ref(anchor)
+        refs = [anchor]
+        refs.extend(self._pool.take_page(anchor.page_id))
+        if not was_resident:
+            pages = 1
+            while pages < max_pages:
+                next_page = anchor.page_id + self._direction * pages
+                if next_page < 0:
+                    break
+                more = self._pool.take_page(next_page)
+                if not more:
+                    break
+                refs.extend(more)
+                pages += 1
+        return refs

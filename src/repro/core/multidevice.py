@@ -55,9 +55,7 @@ class MultiDeviceScheduler(ReferenceScheduler):
         device = self._disk.device_of(ref.page_id)
         self._queues[device].add(ref)
 
-    def pop(self) -> UnresolvedReference:
-        self.require_nonempty()
-        self.ops += 1
+    def _deepest_queue(self) -> int:
         # Longest queue first; ties rotate so no device starves.
         best = None
         best_depth = -1
@@ -70,7 +68,23 @@ class MultiDeviceScheduler(ReferenceScheduler):
                 best_depth = depth
         assert best is not None and best_depth > 0
         self._turn = (best + 1) % n
-        return self._queues[best].pop()
+        return best
+
+    def pop(self) -> UnresolvedReference:
+        self.require_nonempty()
+        self.ops += 1
+        return self._queues[self._deepest_queue()].pop()
+
+    def pop_batch(self, max_pages: int = 1) -> List[UnresolvedReference]:
+        """Batch from the deepest device's sweep.
+
+        Each per-device queue holds only its own device's pages, so a
+        batch never mixes devices and its contiguous run stops at the
+        device boundary by construction.
+        """
+        self.require_nonempty()
+        self.ops += 1
+        return self._queues[self._deepest_queue()].pop_batch(max_pages)
 
     def remove_owner(self, owner: int) -> List[UnresolvedReference]:
         removed: List[UnresolvedReference] = []

@@ -151,6 +151,7 @@ class DeviceServerAssembly(VolcanoIterator):
         n_partitions: int,
         window_size: int = 50,
         scheduler: str = "elevator",
+        batch_pages: int = 1,
         **assembly_kwargs,
     ) -> None:
         super().__init__()
@@ -163,13 +164,20 @@ class DeviceServerAssembly(VolcanoIterator):
         self._store = store
         self._template = template
         self._per_window = max(1, window_size // n_partitions)
+        # batch_pages drives the server's global sweep, not the client
+        # operators (their proxy schedulers never pop).
+        self._batch_pages = batch_pages
         self._assembly_kwargs = assembly_kwargs
         self._server: Optional["DeviceServer"] = None
 
     def _open(self) -> None:
         from repro.service.device_server import DeviceServer
 
-        self._server = DeviceServer(self._store, starvation_bound=None)
+        self._server = DeviceServer(
+            self._store,
+            starvation_bound=None,
+            batch_pages=self._batch_pages,
+        )
         for part in self._partitions:
             self._server.register(
                 part,

@@ -21,7 +21,15 @@ schedulers implement Section 6.2:
   object.
 
 Every structure operation is counted (``ops``) so the footnote-5
-overhead claim can be measured (ablation A-1).
+overhead claim can be measured (ablation A-1).  The counters are kept
+*honest* with respect to the underlying work: an ``add`` or a ``pop``
+(or a ``pop_batch``, which performs a single positioning search) is
+one operation, and ``remove_owner`` counts one operation per reference
+actually retracted.  The pools back this accounting with matching
+asymptotics — the sorted sweep pools and both deque pools keep an
+**owner index**, so retracting an aborted object's k references costs
+O(k) bookkeeping instead of the full-pool rebuild the original
+implementation paid (which made abort-heavy runs quadratic).
 """
 
 from __future__ import annotations
@@ -30,7 +38,17 @@ from abc import ABC, abstractmethod
 from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.assembled import AssembledObject
 from repro.core.template import TemplateNode
@@ -67,6 +85,281 @@ class UnresolvedReference:
         )
 
 
+class SweepPool:
+    """Owner-indexed sorted pool shared by the sweep schedulers.
+
+    Entries stay sorted by ``(page_id, -rejection, seq)``, exactly the
+    order the original list pools used, so SCAN positioning is one
+    bisect.  Two structural changes make maintenance cheap:
+
+    * an **owner index** maps each owner to its live references, so
+      :meth:`remove_owner` touches only the retracted entries (O(k))
+      instead of rebuilding the pool (O(n));
+    * removals are **lazy**: a retracted entry becomes a tombstone in
+      the sorted list and is purged either when a sweep passes over it
+      or when tombstones reach half the list, triggering one O(n)
+      compaction — amortized O(1) per removal.
+
+    The pool also understands the physical layout: :meth:`take_page`
+    removes every live reference on one page (same-page coalescing),
+    and :meth:`take_run` extends that to contiguous pages in a sweep
+    direction, which is what turns an elevator sweep into multi-page
+    batched reads.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[int, float, int, UnresolvedReference]] = []
+        self._dead: Set[int] = set()
+        self._owners: Dict[Hashable, Dict[int, UnresolvedReference]] = {}
+        self._owner_of: Dict[int, Hashable] = {}
+        self._seq_of: Dict[int, int] = {}
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    # -- maintenance --------------------------------------------------------
+
+    def add(
+        self,
+        ref: UnresolvedReference,
+        owner_key: Optional[Hashable] = None,
+        seq: Optional[int] = None,
+    ) -> None:
+        """Insert a reference.
+
+        ``owner_key`` defaults to ``ref.owner``; callers that multiplex
+        several clients into one pool (the device server) pass a
+        composite key.  ``seq`` overrides the sort tie-break sequence
+        for the same reason — per-assembly sequence numbers are not
+        globally unique.
+        """
+        key = ref.owner if owner_key is None else owner_key
+        entry_seq = ref.seq if seq is None else seq
+        ref_id = id(ref)
+        if ref_id in self._dead:
+            # The same object is being re-added while its old entry is
+            # still a tombstone; purge eagerly so it cannot resurrect.
+            self._compact()
+        insort(self._entries, (ref.page_id, -ref.rejection, entry_seq, ref))
+        self._owners.setdefault(key, {})[ref_id] = ref
+        self._owner_of[ref_id] = key
+        self._seq_of[ref_id] = entry_seq
+        self._live += 1
+
+    def _unindex(self, ref: UnresolvedReference) -> None:
+        ref_id = id(ref)
+        key = self._owner_of.pop(ref_id)
+        self._seq_of.pop(ref_id, None)
+        bucket = self._owners[key]
+        del bucket[ref_id]
+        if not bucket:
+            del self._owners[key]
+        self._live -= 1
+
+    def remove_owner(self, owner_key: Hashable) -> List[UnresolvedReference]:
+        """Retract every reference of one owner — O(k) in the retracted."""
+        bucket = self._owners.pop(owner_key, None)
+        if not bucket:
+            return []
+        removed = list(bucket.values())
+        for ref in removed:
+            ref_id = id(ref)
+            del self._owner_of[ref_id]
+            self._seq_of.pop(ref_id, None)
+            self._dead.add(ref_id)
+        self._live -= len(removed)
+        if len(self._dead) * 2 > len(self._entries):
+            self._compact()
+        return removed
+
+    def remove_ref(self, ref: UnresolvedReference) -> None:
+        """Retract one specific reference (detour and per-query picks)."""
+        self._unindex(ref)
+        self._dead.add(id(ref))
+        if len(self._dead) * 2 > len(self._entries):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._entries = [
+            entry for entry in self._entries if id(entry[3]) not in self._dead
+        ]
+        self._dead.clear()
+
+    # -- iteration ----------------------------------------------------------
+
+    def live_entries(
+        self,
+    ) -> Iterator[Tuple[int, float, int, UnresolvedReference]]:
+        """Live ``(page, -rejection, seq, ref)`` tuples in sorted order."""
+        for entry in self._entries:
+            if id(entry[3]) not in self._dead:
+                yield entry
+
+    def seq_of(self, ref: UnresolvedReference) -> int:
+        """The sort sequence this pool filed ``ref`` under."""
+        return self._seq_of[id(ref)]
+
+    # -- positioning --------------------------------------------------------
+
+    def _split(self, head: int) -> int:
+        return bisect_left(
+            self._entries, (head, float("-inf"), -1, None)  # type: ignore[arg-type]
+        )
+
+    def _first_live_at_or_above(self, index: int) -> int:
+        """Index of the first live entry at or after ``index``.
+
+        Tombstones met on the way are purged in passing (each is
+        deleted at most once, so the sweep stays amortized O(1)).
+        """
+        while index < len(self._entries):
+            ref_id = id(self._entries[index][3])
+            if ref_id in self._dead:
+                del self._entries[index]
+                self._dead.discard(ref_id)
+            else:
+                return index
+        return -1
+
+    def _first_live_below(self, index: int) -> int:
+        """Index of the first live entry strictly before ``index``."""
+        index = min(index, len(self._entries)) - 1
+        while index >= 0:
+            ref_id = id(self._entries[index][3])
+            if ref_id in self._dead:
+                del self._entries[index]
+                self._dead.discard(ref_id)
+            else:
+                return index
+            index -= 1
+        return -1
+
+    def _locate_next(
+        self, head: int, direction: int
+    ) -> Tuple[int, int]:
+        """Index of the next entry under SCAN, with the (possibly
+        reversed) sweep direction.  The pool must be non-empty."""
+        split = self._split(head)
+        if direction > 0:
+            index = self._first_live_at_or_above(split)
+            if index < 0:
+                direction = -1
+                index = self._first_live_below(len(self._entries))
+        else:
+            index = self._first_live_below(split)
+            if index < 0:
+                direction = 1
+                index = self._first_live_at_or_above(0)
+        return index, direction
+
+    def _pop_at(self, index: int) -> UnresolvedReference:
+        entry = self._entries.pop(index)
+        self._unindex(entry[3])
+        return entry[3]
+
+    # -- single-reference SCAN (the paper's §6.2 elevator) -------------------
+
+    def pop_next(
+        self, head: int, direction: int
+    ) -> Tuple[UnresolvedReference, int]:
+        """Elevator pop: nearest entry in the sweep direction, reversing
+        at the ends.  Returns ``(ref, direction)``."""
+        index, direction = self._locate_next(head, direction)
+        return self._pop_at(index), direction
+
+    def pop_cscan(self, head: int) -> UnresolvedReference:
+        """C-SCAN pop: upward only, wrapping to the lowest page."""
+        index = self._first_live_at_or_above(self._split(head))
+        if index < 0:
+            index = self._first_live_at_or_above(0)
+        return self._pop_at(index)
+
+    def peek_next(
+        self, head: int, direction: int
+    ) -> Tuple[Tuple[int, float, int, UnresolvedReference], int]:
+        """Like :meth:`pop_next` but leaves the entry in the pool."""
+        index, direction = self._locate_next(head, direction)
+        return self._entries[index], direction
+
+    # -- batched sweeps ------------------------------------------------------
+
+    def take_page(self, page_id: int) -> List[UnresolvedReference]:
+        """Remove and return every live reference on one page, in pool
+        order (higher rejection first, then sequence)."""
+        lo = self._split(page_id)
+        refs: List[UnresolvedReference] = []
+        index = lo
+        while (
+            index < len(self._entries)
+            and self._entries[index][0] == page_id
+        ):
+            ref = self._entries[index][3]
+            ref_id = id(ref)
+            if ref_id in self._dead:
+                self._dead.discard(ref_id)
+            else:
+                refs.append(ref)
+                self._unindex(ref)
+            index += 1
+        del self._entries[lo:index]
+        return refs
+
+    def take_run(
+        self, page_id: int, direction: int, max_pages: int
+    ) -> List[UnresolvedReference]:
+        """Take ``page_id`` plus pending contiguous pages in the sweep
+        direction, up to ``max_pages`` distinct pages.
+
+        The run stops at the first page with nothing pending — that is
+        where the physical run would break anyway.
+        """
+        refs = self.take_page(page_id)
+        pages = 1
+        while refs and pages < max_pages:
+            next_page = page_id + direction * pages
+            if next_page < 0:
+                break
+            more = self.take_page(next_page)
+            if not more:
+                break
+            refs.extend(more)
+            pages += 1
+        return refs
+
+    def take_resident_page(
+        self, resident_fn: Callable[[int], bool]
+    ) -> List[UnresolvedReference]:
+        """All references of the lowest-numbered pending page that is
+        buffer-resident, or ``[]`` — a zero-seek batch."""
+        for entry in self._entries:
+            if id(entry[3]) in self._dead:
+                continue
+            if resident_fn(entry[0]):
+                return self.take_page(entry[0])
+        return []
+
+    def pop_batch_next(
+        self, head: int, direction: int, max_pages: int
+    ) -> Tuple[List[UnresolvedReference], int]:
+        """Elevator batch: position like :meth:`pop_next`, then take the
+        whole page plus its contiguous continuation in the sweep
+        direction.  Returns ``(refs, direction)``."""
+        index, direction = self._locate_next(head, direction)
+        page_id = self._entries[index][0]
+        return self.take_run(page_id, direction, max_pages), direction
+
+    def pop_batch_cscan(
+        self, head: int, max_pages: int
+    ) -> List[UnresolvedReference]:
+        """C-SCAN batch: upward-only positioning, upward run."""
+        index = self._first_live_at_or_above(self._split(head))
+        if index < 0:
+            index = self._first_live_at_or_above(0)
+        page_id = self._entries[index][0]
+        return self.take_run(page_id, 1, max_pages)
+
+
 class ReferenceScheduler(ABC):
     """The scheduling structure of footnote 5."""
 
@@ -84,6 +377,18 @@ class ReferenceScheduler(ABC):
     @abstractmethod
     def pop(self) -> UnresolvedReference:
         """Remove and return the next reference to resolve."""
+
+    def pop_batch(self, max_pages: int = 1) -> List[UnresolvedReference]:
+        """Remove and return the next batch of references.
+
+        ``max_pages`` bounds the *distinct pages* the batch may span,
+        not the reference count — the batch is everything pending on
+        the next page(s) of the sweep, so one physical fetch satisfies
+        every returned reference.  The base implementation is a single
+        :meth:`pop`: schedulers without a physical-order pool have no
+        coalescing to exploit.
+        """
+        return [self.pop()]
 
     def add_siblings(self, refs: List[UnresolvedReference]) -> None:
         """Insert the child references of one freshly fetched object.
@@ -108,7 +413,70 @@ class ReferenceScheduler(ABC):
             raise SchedulerError(f"{self.name} scheduler pool is empty")
 
 
-class DepthFirstScheduler(ReferenceScheduler):
+class _IndexedDequeScheduler(ReferenceScheduler):
+    """Shared owner-indexed machinery for the two deque schedulers.
+
+    The deque gives the discipline (LIFO or FIFO); the owner index
+    gives O(k) :meth:`remove_owner` via tombstones, purged as pops
+    sweep over them or when they reach half the deque.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._deque: Deque[UnresolvedReference] = deque()
+        self._owners: Dict[int, Dict[int, UnresolvedReference]] = {}
+        self._dead: Set[int] = set()
+        self._live = 0
+
+    def _index(self, ref: UnresolvedReference) -> None:
+        ref_id = id(ref)
+        if ref_id in self._dead:
+            # Re-add of a retracted object: purge its tombstone first so
+            # the old deque occurrence cannot pop as the new entry.
+            self._compact()
+        self._owners.setdefault(ref.owner, {})[ref_id] = ref
+        self._live += 1
+
+    def _take(
+        self, pop: Callable[[], UnresolvedReference]
+    ) -> UnresolvedReference:
+        while True:
+            ref = pop()
+            ref_id = id(ref)
+            if ref_id in self._dead:
+                self._dead.discard(ref_id)
+                continue
+            bucket = self._owners[ref.owner]
+            del bucket[ref_id]
+            if not bucket:
+                del self._owners[ref.owner]
+            self._live -= 1
+            return ref
+
+    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
+        bucket = self._owners.pop(owner, None)
+        if not bucket:
+            return []
+        removed = list(bucket.values())
+        self.ops += len(removed)
+        for ref in removed:
+            self._dead.add(id(ref))
+        self._live -= len(removed)
+        if len(self._dead) * 2 > len(self._deque):
+            self._compact()
+        return removed
+
+    def _compact(self) -> None:
+        self._deque = deque(
+            ref for ref in self._deque if id(ref) not in self._dead
+        )
+        self._dead.clear()
+
+    def __len__(self) -> int:
+        return self._live
+
+
+class DepthFirstScheduler(_IndexedDequeScheduler):
     """Object-at-a-time order (Section 6.2's first algorithm).
 
     Non-root references are pushed and popped LIFO; window roots enter
@@ -121,16 +489,13 @@ class DepthFirstScheduler(ReferenceScheduler):
 
     name = "depth-first"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._stack: Deque[UnresolvedReference] = deque()
-
     def add(self, ref: UnresolvedReference) -> None:
         self.ops += 1
+        self._index(ref)
         if ref.is_root:
-            self._stack.appendleft(ref)
+            self._deque.appendleft(ref)
         else:
-            self._stack.append(ref)
+            self._deque.append(ref)
 
     def add_siblings(self, refs: List[UnresolvedReference]) -> None:
         """Push reversed so the first-slot child pops first (footnote 6)."""
@@ -140,50 +505,23 @@ class DepthFirstScheduler(ReferenceScheduler):
     def pop(self) -> UnresolvedReference:
         self.require_nonempty()
         self.ops += 1
-        return self._stack.pop()
-
-    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
-        removed = [ref for ref in self._stack if ref.owner == owner]
-        if removed:
-            self.ops += len(self._stack)
-            self._stack = deque(
-                ref for ref in self._stack if ref.owner != owner
-            )
-        return removed
-
-    def __len__(self) -> int:
-        return len(self._stack)
+        return self._take(self._deque.pop)
 
 
-class BreadthFirstScheduler(ReferenceScheduler):
+class BreadthFirstScheduler(_IndexedDequeScheduler):
     """FIFO across the whole window (Section 6.2's second algorithm)."""
 
     name = "breadth-first"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._queue: Deque[UnresolvedReference] = deque()
-
     def add(self, ref: UnresolvedReference) -> None:
         self.ops += 1
-        self._queue.append(ref)
+        self._index(ref)
+        self._deque.append(ref)
 
     def pop(self) -> UnresolvedReference:
         self.require_nonempty()
         self.ops += 1
-        return self._queue.popleft()
-
-    def remove_owner(self, owner: int) -> List[UnresolvedReference]:
-        removed = [ref for ref in self._queue if ref.owner == owner]
-        if removed:
-            self.ops += len(self._queue)
-            self._queue = deque(
-                ref for ref in self._queue if ref.owner != owner
-            )
-        return removed
-
-    def __len__(self) -> int:
-        return len(self._queue)
+        return self._take(self._deque.popleft)
 
 
 class ElevatorScheduler(ReferenceScheduler):
@@ -194,62 +532,61 @@ class ElevatorScheduler(ReferenceScheduler):
     position and reverses at the end, like the classic elevator.
     ``head_fn`` supplies the live head position (wired to the simulated
     disk by the assembly operator).
+
+    ``resident_fn`` (the buffer manager's residency probe) is consulted
+    only by :meth:`pop_batch`: a pending page that is already buffered
+    is served first, as a zero-seek batch, before the sweep spends any
+    head movement.  Single-reference :meth:`pop` deliberately ignores
+    residency so the §6.2 reproduction keeps the paper's pure SCAN.
     """
 
     name = "elevator"
 
-    def __init__(self, head_fn: Optional[Callable[[], int]] = None) -> None:
+    def __init__(
+        self,
+        head_fn: Optional[Callable[[], int]] = None,
+        resident_fn: Optional[Callable[[int], bool]] = None,
+    ) -> None:
         super().__init__()
         self._head_fn = head_fn if head_fn is not None else (lambda: 0)
-        self._entries: List[Tuple[int, float, int, UnresolvedReference]] = []
+        self._resident_fn = resident_fn
+        self._pool = SweepPool()
         self._direction = 1  # +1 sweeping up, -1 sweeping down
-
-    def _key(self, ref: UnresolvedReference) -> Tuple[int, float, int]:
-        return (ref.page_id, -ref.rejection, ref.seq)
+        #: batches served off buffer-resident pages (no seek charged).
+        self.resident_batches = 0
 
     def add(self, ref: UnresolvedReference) -> None:
         self.ops += 1
-        key = self._key(ref)
-        insort(self._entries, (key[0], key[1], key[2], ref))
+        self._pool.add(ref)
 
     def pop(self) -> UnresolvedReference:
         self.require_nonempty()
         self.ops += 1
-        head = self._head_fn()
-        index = self._pick(head)
-        _page, _rej, _seq, ref = self._entries.pop(index)
+        ref, self._direction = self._pool.pop_next(
+            self._head_fn(), self._direction
+        )
         return ref
 
-    def _pick(self, head: int) -> int:
-        """Index of the next entry under SCAN from ``head``."""
-        # Position of the first entry with page_id >= head.
-        split = bisect_left(self._entries, (head, float("-inf"), -1, None))  # type: ignore[arg-type]
-        if self._direction > 0:
-            if split < len(self._entries):
-                return split
-            self._direction = -1
-            return len(self._entries) - 1
-        if split > 0:
-            # Continue sweeping down: the nearest entry at or below head.
-            candidate = split - 1
-            if candidate >= 0:
-                return candidate
-        self._direction = 1
-        return 0
+    def pop_batch(self, max_pages: int = 1) -> List[UnresolvedReference]:
+        self.require_nonempty()
+        self.ops += 1
+        if self._resident_fn is not None:
+            refs = self._pool.take_resident_page(self._resident_fn)
+            if refs:
+                self.resident_batches += 1
+                return refs
+        refs, self._direction = self._pool.pop_batch_next(
+            self._head_fn(), self._direction, max_pages
+        )
+        return refs
 
     def remove_owner(self, owner: int) -> List[UnresolvedReference]:
-        removed = [
-            entry[3] for entry in self._entries if entry[3].owner == owner
-        ]
-        if removed:
-            self.ops += len(self._entries)
-            self._entries = [
-                entry for entry in self._entries if entry[3].owner != owner
-            ]
+        removed = self._pool.remove_owner(owner)
+        self.ops += len(removed)
         return removed
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._pool)
 
 
 class CScanScheduler(ReferenceScheduler):
@@ -260,47 +597,49 @@ class CScanScheduler(ReferenceScheduler):
     sweeps up again.  Under pure seek-distance accounting the wrap
     costs a long seek, so C-SCAN trades a little total movement for
     bounded per-request waiting — worth having as a comparison point
-    for the §6.2 scheduling study.
+    for the §6.2 scheduling study.  ``resident_fn`` plays the same
+    batch-only role as on :class:`ElevatorScheduler`.
     """
 
     name = "cscan"
 
-    def __init__(self, head_fn: Optional[Callable[[], int]] = None) -> None:
+    def __init__(
+        self,
+        head_fn: Optional[Callable[[], int]] = None,
+        resident_fn: Optional[Callable[[int], bool]] = None,
+    ) -> None:
         super().__init__()
         self._head_fn = head_fn if head_fn is not None else (lambda: 0)
-        self._entries: List[Tuple[int, float, int, UnresolvedReference]] = []
+        self._resident_fn = resident_fn
+        self._pool = SweepPool()
+        self.resident_batches = 0
 
     def add(self, ref: UnresolvedReference) -> None:
         self.ops += 1
-        insort(
-            self._entries, (ref.page_id, -ref.rejection, ref.seq, ref)
-        )
+        self._pool.add(ref)
 
     def pop(self) -> UnresolvedReference:
         self.require_nonempty()
         self.ops += 1
-        head = self._head_fn()
-        index = bisect_left(
-            self._entries, (head, float("-inf"), -1, None)  # type: ignore[arg-type]
-        )
-        if index >= len(self._entries):
-            index = 0  # wrap to the lowest pending page
-        _page, _rej, _seq, ref = self._entries.pop(index)
-        return ref
+        return self._pool.pop_cscan(self._head_fn())
+
+    def pop_batch(self, max_pages: int = 1) -> List[UnresolvedReference]:
+        self.require_nonempty()
+        self.ops += 1
+        if self._resident_fn is not None:
+            refs = self._pool.take_resident_page(self._resident_fn)
+            if refs:
+                self.resident_batches += 1
+                return refs
+        return self._pool.pop_batch_cscan(self._head_fn(), max_pages)
 
     def remove_owner(self, owner: int) -> List[UnresolvedReference]:
-        removed = [
-            entry[3] for entry in self._entries if entry[3].owner == owner
-        ]
-        if removed:
-            self.ops += len(self._entries)
-            self._entries = [
-                entry for entry in self._entries if entry[3].owner != owner
-            ]
+        removed = self._pool.remove_owner(owner)
+        self.ops += len(removed)
         return removed
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._pool)
 
 
 #: Scheduler registry keyed by benchmark-table names.  The adaptive
@@ -322,7 +661,9 @@ def make_scheduler(
     """Instantiate a scheduler by registry name.
 
     ``head_fn`` feeds disk-position-aware schedulers; ``resident_fn``
-    feeds buffer-aware ones.  Schedulers that need neither ignore them.
+    feeds buffer-aware ones — the adaptive scheduler uses it on every
+    pop, the elevator and C-SCAN only on batched pops.  Schedulers that
+    need neither ignore them.
     """
     if name == "adaptive":
         # Imported lazily to avoid a circular import at module load.
@@ -339,5 +680,5 @@ def make_scheduler(
             f"{sorted(SCHEDULERS) + ['adaptive']}"
         ) from None
     if cls in (ElevatorScheduler, CScanScheduler):
-        return cls(head_fn=head_fn)
+        return cls(head_fn=head_fn, resident_fn=resident_fn)
     return cls()

@@ -29,17 +29,22 @@ tests rely on this determinism.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.assembled import AssembledComplexObject
 from repro.core.assembly import Assembly
 from repro.core.schedulers import (
     ReferenceScheduler,
+    SweepPool,
     UnresolvedReference,
 )
 from repro.core.template import Template
-from repro.errors import AssemblyError, SchedulerError, ServiceStateError
+from repro.errors import (
+    AssemblyError,
+    BufferFullError,
+    SchedulerError,
+    ServiceStateError,
+)
 from repro.storage.multidisk import MultiDeviceDisk
 from repro.storage.oid import Oid
 from repro.storage.store import ObjectStore
@@ -93,47 +98,65 @@ class _ProxyScheduler(ReferenceScheduler):
 
 
 class _DeviceQueue:
-    """One device's share of the global pool: a SCAN-ordered list."""
+    """One device's share of the global pool: a SCAN-ordered SweepPool.
+
+    Entries carry the server's global sequence number as their sort
+    tie-break (per-assembly sequence numbers are not unique across
+    queries) and are owner-indexed under ``(query_id, owner)``, so
+    retracting one query's aborted complex object costs O(k) instead
+    of the full-pool rebuild the original list paid.
+    """
 
     def __init__(self, head_fn) -> None:
         self._head_fn = head_fn
-        # (page_id, -rejection, seq, query_id, ref), kept sorted.
-        self._entries: List[Tuple[int, float, int, int, UnresolvedReference]] = []
+        self._pool = SweepPool()
+        self._tags: Dict[int, int] = {}  # id(ref) -> query_id
+        self._query_count: Dict[int, int] = {}
         self._direction = 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._pool)
 
     def add(self, query_id: int, seq: int, ref: UnresolvedReference) -> None:
         """Insert one tagged reference in sweep order."""
-        insort(
-            self._entries,
-            (ref.page_id, -ref.rejection, seq, query_id, ref),
-        )
+        self._pool.add(ref, owner_key=(query_id, ref.owner), seq=seq)
+        self._tags[id(ref)] = query_id
+        self._query_count[query_id] = self._query_count.get(query_id, 0) + 1
 
-    def _split(self, head: int) -> int:
-        return bisect_left(
-            self._entries, (head, float("-inf"), -1, -1, None)  # type: ignore[arg-type]
-        )
+    def _untag(self, ref: UnresolvedReference) -> int:
+        query_id = self._tags.pop(id(ref))
+        self._query_count[query_id] -= 1
+        if self._query_count[query_id] == 0:
+            del self._query_count[query_id]
+        return query_id
 
     def pop_next(self) -> Tuple[int, UnresolvedReference]:
         """Pop the SCAN-next entry for this device's head."""
-        head = self._head_fn()
-        split = self._split(head)
-        if self._direction > 0:
-            if split < len(self._entries):
-                index = split
-            else:
-                self._direction = -1
-                index = len(self._entries) - 1
-        else:
-            if split > 0:
-                index = split - 1
-            else:
-                self._direction = 1
-                index = 0
-        _page, _rej, _seq, query_id, ref = self._entries.pop(index)
-        return query_id, ref
+        ref, self._direction = self._pool.pop_next(
+            self._head_fn(), self._direction
+        )
+        return self._untag(ref), ref
+
+    def pop_batch(
+        self,
+        max_pages: int,
+        resident_fn: Optional[Callable[[int], bool]] = None,
+    ) -> List[Tuple[int, UnresolvedReference]]:
+        """Pop the sweep-next page group plus its contiguous run.
+
+        The batch may mix queries — that is the point: concurrent
+        clients whose references share a page (or a run) get them all
+        satisfied by one physical read.  A buffer-resident page, if
+        any is pending, is served first at zero seek.
+        """
+        if resident_fn is not None:
+            refs = self._pool.take_resident_page(resident_fn)
+            if refs:
+                return [(self._untag(ref), ref) for ref in refs]
+        refs, self._direction = self._pool.pop_batch_next(
+            self._head_fn(), self._direction, max_pages
+        )
+        return [(self._untag(ref), ref) for ref in refs]
 
     def pop_for_query(self, query_id: int) -> Tuple[int, UnresolvedReference]:
         """Pop the entry of ``query_id`` nearest this device's head.
@@ -143,40 +166,32 @@ class _DeviceQueue:
         the override is rare by construction.
         """
         head = self._head_fn()
-        best_index = -1
+        best_ref: Optional[UnresolvedReference] = None
         best_cost: Optional[Tuple[int, int]] = None
-        for index, entry in enumerate(self._entries):
-            if entry[3] != query_id:
+        for page, _rej, seq, ref in self._pool.live_entries():
+            if self._tags.get(id(ref)) != query_id:
                 continue
-            cost = (abs(entry[0] - head), entry[2])
+            cost = (abs(page - head), seq)
             if best_cost is None or cost < best_cost:
-                best_index = index
+                best_ref = ref
                 best_cost = cost
-        if best_index < 0:
+        if best_ref is None:
             raise SchedulerError(
                 f"query {query_id} has no pending reference on this device"
             )
-        _page, _rej, _seq, owner_query, ref = self._entries.pop(best_index)
-        return owner_query, ref
+        self._pool.remove_ref(best_ref)
+        return self._untag(best_ref), best_ref
 
     def retract(self, query_id: int, owner: int) -> List[UnresolvedReference]:
         """Remove every entry of one query's aborted complex object."""
-        removed = [
-            entry[4]
-            for entry in self._entries
-            if entry[3] == query_id and entry[4].owner == owner
-        ]
-        if removed:
-            self._entries = [
-                entry
-                for entry in self._entries
-                if not (entry[3] == query_id and entry[4].owner == owner)
-            ]
+        removed = self._pool.remove_owner((query_id, owner))
+        for ref in removed:
+            self._untag(ref)
         return removed
 
     def has_query(self, query_id: int) -> bool:
         """Any pending entry of ``query_id`` on this device?"""
-        return any(entry[3] == query_id for entry in self._entries)
+        return self._query_count.get(query_id, 0) > 0
 
 
 class ClientQuery:
@@ -226,17 +241,27 @@ class DeviceServer:
         Maximum global resolutions a query with pending references may
         wait between services (per-query fairness).  ``None`` disables
         the bound (pure global SCAN).
+    batch_pages:
+        Maximum distinct pages per global sweep batch.  1 (default)
+        keeps the original one-reference-per-step loop; ≥ 2 makes each
+        step serve everything pending on the sweep-next page(s) —
+        possibly across queries — behind one coalesced, prefetched
+        read, with buffer-resident pages served first at zero seek.
     """
 
     def __init__(
         self,
         store: ObjectStore,
         starvation_bound: Optional[int] = DEFAULT_STARVATION_BOUND,
+        batch_pages: int = 1,
     ) -> None:
         if starvation_bound is not None and starvation_bound <= 0:
             raise ServiceStateError("starvation_bound must be positive")
+        if batch_pages <= 0:
+            raise ServiceStateError("batch_pages must be positive")
         self.store = store
         self.starvation_bound = starvation_bound
+        self.batch_pages = batch_pages
         disk = store.disk
         if isinstance(disk, MultiDeviceDisk):
             self._queues = [
@@ -361,12 +386,7 @@ class DeviceServer:
                 worst_wait = query.waited
         return worst_id
 
-    def _pop_next(self) -> Tuple[int, UnresolvedReference]:
-        starved = self._starved_query()
-        if starved is not None:
-            for queue in self._queues:
-                if queue.has_query(starved):
-                    return queue.pop_for_query(starved)
+    def _deepest_queue(self) -> "_DeviceQueue":
         # Deepest queue first: elevator sweeps pay off in proportion to
         # queue depth (same rule as MultiDeviceScheduler); ties resolve
         # to the lowest device index, deterministically.
@@ -378,35 +398,93 @@ class DeviceServer:
                 best_depth = len(queue)
         if best_queue is None:
             raise SchedulerError("device server pool is empty")
-        return best_queue.pop_next()
+        return best_queue
+
+    def _pop_next(self) -> Tuple[int, UnresolvedReference]:
+        starved = self._starved_query()
+        if starved is not None:
+            for queue in self._queues:
+                if queue.has_query(starved):
+                    return queue.pop_for_query(starved)
+        return self._deepest_queue().pop_next()
+
+    def _pop_next_batch(self) -> List[Tuple[int, UnresolvedReference]]:
+        starved = self._starved_query()
+        if starved is not None:
+            for queue in self._queues:
+                if queue.has_query(starved):
+                    return [queue.pop_for_query(starved)]
+        return self._deepest_queue().pop_batch(
+            self.batch_pages, self.store.buffer.is_resident
+        )
+
+    def _prefetch(
+        self, batch: List[Tuple[int, UnresolvedReference]]
+    ) -> List[int]:
+        """Pin the batch's fetch pages with one coalesced read.
+
+        Returns the pinned page ids (to unfix after the batch), or
+        ``[]`` when fewer than two distinct pages need the disk or the
+        pin bound cannot take the whole batch (per-reference fetching
+        still works then, just without coalescing).
+        """
+        fetch_pages: List[int] = []
+        seen = set()
+        for query_id, ref in batch:
+            query = self._queries[query_id]
+            if query.finished or not query.assembly.needs_fetch(ref):
+                continue
+            page_id = self.store.page_of(ref.oid)
+            if page_id not in seen:
+                seen.add(page_id)
+                fetch_pages.append(page_id)
+        if len(fetch_pages) < 2:
+            return []
+        try:
+            self.store.buffer.fix_many(fetch_pages)
+        except BufferFullError:
+            return []
+        return fetch_pages
 
     # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
-        """Resolve one reference globally; ``False`` when idle.
+        """Resolve one sweep step globally; ``False`` when idle.
 
-        Pops the sweep-next (or starvation-overridden) reference, hands
-        it to the owning query's operator, and collects any complex
-        objects that completed as a result.  When the pool is empty but
-        some query is unfinished, stuck deferred references are
-        released (the selective-assembly corner the core operator
-        handles the same way).
+        Pops the sweep-next (or starvation-overridden) reference —
+        or, with ``batch_pages`` ≥ 2, everything pending on the
+        sweep-next page(s), prefetched with one coalesced read — hands
+        each reference to its owning query's operator, and collects
+        any complex objects that completed as a result.  When the pool
+        is empty but some query is unfinished, stuck deferred
+        references are released (the selective-assembly corner the
+        core operator handles the same way).
         """
         if self.pending_total() == 0 and not self._release_stuck():
             return False
-        query_id, ref = self._pop_next()
-        self._pending[query_id] -= 1
-        query = self._queries[query_id]
-        self.resolutions += 1
-        for other_id, other in self._queries.items():
-            if other.finished or other_id == query_id:
-                continue
-            if self._pending[other_id] > 0:
-                other.waited += 1
-        query.waited = 0
-        query.served += 1
-        query.assembly.resolve_external(ref)
-        self._collect(query)
+        if self.batch_pages > 1:
+            batch = self._pop_next_batch()
+            prefetched = self._prefetch(batch)
+        else:
+            batch = [self._pop_next()]
+            prefetched = []
+        try:
+            for query_id, ref in batch:
+                self._pending[query_id] -= 1
+                query = self._queries[query_id]
+                self.resolutions += 1
+                for other_id, other in self._queries.items():
+                    if other.finished or other_id == query_id:
+                        continue
+                    if self._pending[other_id] > 0:
+                        other.waited += 1
+                query.waited = 0
+                query.served += 1
+                query.assembly.resolve_external(ref)
+                self._collect(query)
+        finally:
+            for page_id in prefetched:
+                self.store.buffer.unfix(page_id)
         return True
 
     def _release_stuck(self) -> bool:

@@ -20,10 +20,10 @@ through this buffer manager.  Two paper-specific concerns shape it:
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.errors import BufferFullError, PinError
 from repro.storage.disk import SimulatedDisk
@@ -279,6 +279,74 @@ class BufferManager:
             self._pinned_count += 1
         frame.pin_count += 1
         return frame.page
+
+    def fix_many(self, page_ids: Sequence[int]) -> Dict[int, Page]:
+        """Pin a batch of pages, batching the disk reads.
+
+        Semantically this is one :meth:`fix` per entry of ``page_ids``
+        (duplicates take one pin per occurrence, and the stats come out
+        identical: one fault per absent page, hits for the rest) — but
+        all absent pages are faulted through a single
+        :meth:`~repro.storage.disk.SimulatedDisk.read_batch`, so ids
+        that are physically contiguous cost one seek.  Pass the ids in
+        sweep order; the disk coalesces from that order.
+
+        Admission is **atomic** against the pin bound: if the pool
+        cannot hold every requested page simultaneously alongside the
+        frames other callers have pinned, :class:`BufferFullError` is
+        raised before any pin is taken or frame evicted, so a rejected
+        batch leaves the pool exactly as it found it.  Returns a map
+        of page id to page.
+        """
+        distinct: List[int] = []
+        seen: Set[int] = set()
+        for page_id in page_ids:
+            if page_id not in seen:
+                seen.add(page_id)
+                distinct.append(page_id)
+        if self._capacity is not None:
+            immovable = sum(
+                1
+                for pid, frame in self._frames.items()
+                if frame.pin_count > 0 and pid not in seen
+            )
+            if immovable + len(distinct) > self._capacity:
+                raise BufferFullError(
+                    f"batch of {len(distinct)} pages cannot be pinned "
+                    f"alongside {immovable} already-pinned frames "
+                    f"(capacity {self._capacity})"
+                )
+        # Pin the already-resident request pages first so the evictions
+        # for the absent ones cannot victimize them.
+        missing: List[int] = []
+        pages: Dict[int, Page] = {}
+        for page_id in distinct:
+            if page_id in self._frames:
+                pages[page_id] = self.fix(page_id)
+            else:
+                missing.append(page_id)
+        if missing:
+            if self._capacity is not None:
+                while len(self._frames) + len(missing) > self._capacity:
+                    self._evict_one()
+            for page in self._disk.read_batch(missing):
+                page_id = page.page_id
+                self.stats.fixes += 1
+                self.stats.faults += 1
+                if page_id in self._ever_resident:
+                    self.stats.re_reads += 1
+                frame = _Frame(page)
+                frame.pin_count = 1
+                self._pinned_count += 1
+                self._frames[page_id] = frame
+                self._ever_resident.add(page_id)
+                pages[page_id] = page
+        # Remaining occurrences beyond the first are plain hits.
+        counts = Counter(page_ids)
+        for page_id, occurrences in counts.items():
+            for _ in range(occurrences - 1):
+                self.fix(page_id)
+        return pages
 
     def unfix(self, page_id: int, dirty: bool = False) -> None:
         """Release one pin on ``page_id``; mark dirty if it was modified."""

@@ -47,10 +47,20 @@ class CostModel:
 
     def service_time(self, distance: int) -> float:
         """Milliseconds to serve one read that moved ``distance`` pages."""
+        return self.run_service_time(distance, 1)
+
+    def run_service_time(self, distance: int, n_pages: int) -> float:
+        """Milliseconds for one contiguous run: one positioning, one
+        rotational wait, then ``n_pages`` sequential page transfers.
+
+        This is what makes run batching pay under the full model — the
+        constant positioning costs are amortized over the run, not just
+        the seek distance.
+        """
         positioning = 0.0
         if distance > 0:
             positioning = self.settle + self.seek_per_page * distance
-        return positioning + self.rotational_latency + self.transfer
+        return positioning + self.rotational_latency + self.transfer * n_pages
 
 
 #: A pricing where only distance matters — reproduces the paper's metric.
@@ -73,6 +83,14 @@ class CostedDisk(SimulatedDisk):
         distance = self.stats.read_seeks[-1]
         self.service_time_total += self.cost_model.service_time(distance)
         return page
+
+    def read_run(self, start: int, n_pages: int):
+        pages = super().read_run(start, n_pages)
+        distance = self.stats.read_seeks[-1]
+        self.service_time_total += self.cost_model.run_service_time(
+            distance, n_pages
+        )
+        return pages
 
     @property
     def avg_service_time_per_read(self) -> float:

@@ -74,15 +74,44 @@ class MultiDeviceDisk(SimulatedDisk):
         self._heads[device] = page_id
         return distance
 
-    def read(self, page_id: int):
-        page = super().read(page_id)
-        device = page_id // self.pages_per_device
+    def _settle_at(self, page_id: int) -> None:
+        self._heads[page_id // self.pages_per_device] = page_id
+
+    def _record_device_read(self, device: int, n_pages: int) -> None:
         stats = self.device_stats[device]
         stats.reads += 1
+        stats.pages_read += n_pages
+        if n_pages > 1:
+            stats.run_reads += 1
         seek = self.stats.read_seeks[-1]
         stats.read_seek_total += seek
         stats.read_seeks.append(seek)
+
+    def read(self, page_id: int):
+        page = super().read(page_id)
+        self._record_device_read(page_id // self.pages_per_device, 1)
         return page
+
+    def read_run(self, start: int, n_pages: int) -> List:
+        """Read a run, splitting it at device boundaries.
+
+        A run that crosses devices becomes one physical read per
+        device: each chunk charges a seek against its own device's
+        head, exactly as if the chunks had been requested separately.
+        """
+        if n_pages <= 0:
+            raise DiskError("read_run needs at least one page")
+        pages: List = []
+        cursor, remaining = start, n_pages
+        while remaining > 0:
+            device = self.device_of(cursor)
+            device_end = (device + 1) * self.pages_per_device
+            chunk = min(remaining, device_end - cursor)
+            pages.extend(super().read_run(cursor, chunk))
+            self._record_device_read(device, chunk)
+            cursor += chunk
+            remaining -= chunk
+        return pages
 
     # -- allocation -------------------------------------------------------------------
 

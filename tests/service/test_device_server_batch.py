@@ -1,0 +1,86 @@
+"""Batched device server: global sweep batches across client queries."""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, build_layout
+from repro.errors import ServiceStateError
+from repro.service.device_server import DeviceServer
+from repro.workloads.acob import make_template
+
+
+def build(n=40, clustering="intra-object"):
+    config = ExperimentConfig(
+        n_complex_objects=n,
+        clustering=clustering,
+        scheduler="elevator",
+        window_size=8,
+        cluster_pages=64,
+    )
+    return build_layout(config)
+
+
+def fingerprint(obj):
+    return (
+        obj.oid,
+        obj.ints,
+        obj.ref_oids,
+        tuple(
+            (slot, fingerprint(child))
+            for slot, child in sorted(obj.children.items())
+        ),
+    )
+
+
+def run_server(batch_pages, n=40, clustering="intra-object"):
+    db, layout = build(n=n, clustering=clustering)
+    server = DeviceServer(layout.store, batch_pages=batch_pages)
+    template = make_template(db)
+    half = len(layout.root_order) // 2
+    first = server.register(layout.root_order[:half], template)
+    second = server.register(layout.root_order[half:], template)
+    server.run()
+    assert first.finished and second.finished
+    assert layout.store.buffer.pinned_pages == 0
+    emitted = sorted(
+        (cobj.root_oid, fingerprint(cobj.root))
+        for query in (first, second)
+        for cobj in query.output
+    )
+    return emitted, layout.store.disk.stats
+
+
+class TestBatchedServer:
+    def test_invalid_batch_pages(self):
+        _, layout = build(n=5)
+        with pytest.raises(ServiceStateError):
+            DeviceServer(layout.store, batch_pages=0)
+
+    def test_output_identical_to_unbatched(self):
+        reference, _ = run_server(1)
+        for batch in (2, 4):
+            emitted, _ = run_server(batch)
+            assert emitted == reference
+
+    def test_batching_reduces_physical_reads(self):
+        _, plain = run_server(1, n=60)
+        _, batched = run_server(4, n=60)
+        assert batched.reads < plain.reads
+        assert batched.pages_read == plain.pages_read
+        assert batched.run_reads > 0
+
+    def test_inter_object_clients_unharmed(self):
+        reference, _ = run_server(1, clustering="inter-object")
+        emitted, _ = run_server(4, clustering="inter-object")
+        assert emitted == reference
+
+    def test_batch_spans_queries(self):
+        """One sweep batch may serve references of different clients.
+
+        With intra-object clustering and interleaved root partitions,
+        adjacent pages belong to consecutive roots — which the halved
+        registration splits across the two queries — so coalesced runs
+        must cross query boundaries to form at all.
+        """
+        _, plain = run_server(1, n=60)
+        _, batched = run_server(8, n=60)
+        assert batched.reads < plain.reads
