@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from typing import Dict, List
 
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.report import FigureResult, render
@@ -58,10 +58,13 @@ def main(argv: List[str] = None) -> int:
 
     failures = 0
     collected: List[FigureResult] = []
+    timings: Dict[str, float] = {}
+    run_start = time.time()
     for name in names:
         start = time.time()
         produced = ALL_FIGURES[name]()
         elapsed = time.time() - start
+        timings[name] = elapsed
         figures = produced if isinstance(produced, list) else [produced]
         for figure in figures:
             print(render(figure))
@@ -70,6 +73,7 @@ def main(argv: List[str] = None) -> int:
         collected.extend(figures)
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
+    timings["total"] = time.time() - run_start
     if args.csv:
         from repro.bench.export import write_csv
 
@@ -78,7 +82,7 @@ def main(argv: List[str] = None) -> int:
     if args.json:
         from repro.bench.export import write_json
 
-        print(f"wrote {write_json(collected, args.json)}")
+        print(f"wrote {write_json(collected, args.json, timings=timings)}")
     if failures:
         print(f"{failures} shape check(s) FAILED")
         return 1

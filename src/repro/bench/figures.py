@@ -979,6 +979,14 @@ def _register_batch() -> None:
     ALL_FIGURES["batch"] = figure_batch
 
 
+def _register_elapsed() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    from repro.bench.elapsed import figure_elapsed
+
+    ALL_FIGURES["elapsed"] = figure_elapsed
+
+
 _register_baselines()
 _register_service()
 _register_batch()
+_register_elapsed()

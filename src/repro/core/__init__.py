@@ -3,6 +3,11 @@
 from repro.core.adaptive import AdaptiveElevatorScheduler
 from repro.core.assembled import AssembledComplexObject, AssembledObject
 from repro.core.assembly import Assembly, AssemblyStats
+from repro.core.multidevice import (
+    MultiDeviceScheduler,
+    PipelinedAssembly,
+    PipelineStats,
+)
 from repro.core.parallel import DeviceServerAssembly, InterleavedAssemblies
 from repro.core.tuning import (
     TuningResult,
@@ -54,6 +59,9 @@ __all__ = [
     "ComponentIterator",
     "DepthFirstScheduler",
     "ElevatorScheduler",
+    "MultiDeviceScheduler",
+    "PipelineStats",
+    "PipelinedAssembly",
     "Predicate",
     "ReferenceScheduler",
     "SCHEDULERS",

@@ -261,6 +261,24 @@ class Assembly(VolcanoIterator):
 
     # -- external draining (device-server hooks) -----------------------------
 
+    @property
+    def scheduler(self) -> ReferenceScheduler:
+        """The live reference pool (external drivers only).
+
+        Completion-driven drivers (:class:`repro.core.multidevice.
+        PipelinedAssembly`) pop per-device batches from this pool and
+        hand the resolved references back through
+        :meth:`resolve_external_batch`.  Only available while open.
+        """
+        if self._scheduler is None:
+            raise AssemblyError("scheduler is only bound while open")
+        return self._scheduler
+
+    @property
+    def store(self) -> ObjectStore:
+        """The object store this operator fetches from."""
+        return self._store
+
     def resolve_external(self, ref: UnresolvedReference) -> None:
         """Resolve one reference popped by an external driver.
 
@@ -276,6 +294,28 @@ class Assembly(VolcanoIterator):
         if ref.owner not in self._window:
             return
         self._resolve(ref)
+
+    def resolve_external_batch(
+        self, refs: List[UnresolvedReference]
+    ) -> None:
+        """Resolve one completed I/O batch popped by an external driver.
+
+        The event-driven drivers pop a per-device sweep batch, issue
+        its pages asynchronously, and call this on completion.  Owner
+        liveness is re-checked before every reference — exactly like
+        the internal :meth:`_resolve_batch` loop — so a predicate abort
+        mid-batch retracts its in-flight siblings.  The caller owns any
+        prefetch pins (each reference then resolves as a buffer hit).
+        """
+        if not self.is_open:
+            raise AssemblyError(
+                "resolve_external_batch() on a non-open operator"
+            )
+        assert self._window is not None
+        for ref in refs:
+            if ref.owner not in self._window:
+                continue  # owner aborted after this ref was queued
+            self._resolve(ref)
 
     def drain_emitted(self) -> List[AssembledComplexObject]:
         """Hand over every completed complex object buffered so far.

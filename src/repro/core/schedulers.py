@@ -399,6 +399,43 @@ class ReferenceScheduler(ABC):
         for ref in refs:
             self.add(ref)
 
+    # -- per-device view (event-driven drivers) ------------------------------
+    #
+    # The pipelined driver issues I/O per physical device while other
+    # devices have requests in flight, so it needs to pop *for a given
+    # device* rather than globally.  Single-device pools present
+    # themselves as device 0; :class:`repro.core.multidevice.
+    # MultiDeviceScheduler` overrides all four methods to expose its
+    # per-device elevator queues.
+
+    def devices_pending(self) -> List[int]:
+        """Devices with at least one pending reference."""
+        return [0] if len(self) > 0 else []
+
+    def device_depth(self, device: int) -> int:
+        """Pending references routed to one device."""
+        return len(self) if device == 0 else 0
+
+    def pop_on(self, device: int) -> UnresolvedReference:
+        """Pop the next reference destined for one device."""
+        if device != 0:
+            raise SchedulerError(
+                f"{self.name} scheduler serves a single device (0), "
+                f"not device {device}"
+            )
+        return self.pop()
+
+    def pop_batch_on(
+        self, device: int, max_pages: int = 1
+    ) -> List[UnresolvedReference]:
+        """Pop the next sweep batch destined for one device."""
+        if device != 0:
+            raise SchedulerError(
+                f"{self.name} scheduler serves a single device (0), "
+                f"not device {device}"
+            )
+        return self.pop_batch(max_pages)
+
     @abstractmethod
     def remove_owner(self, owner: int) -> List[UnresolvedReference]:
         """Retract every reference of an aborted complex object."""

@@ -23,7 +23,11 @@ package builds that server out into a small service:
 
 from repro.service.admission import AdmissionController, AdmissionTicket
 from repro.service.cache import AssembledObjectCache, CacheStats
-from repro.service.device_server import ClientQuery, DeviceServer
+from repro.service.device_server import (
+    ClientQuery,
+    DeviceServer,
+    OverlapReport,
+)
 from repro.service.metrics import RequestMetrics, ServiceMetrics
 from repro.service.server import AssemblyService, RequestStatus
 
@@ -35,6 +39,7 @@ __all__ = [
     "CacheStats",
     "ClientQuery",
     "DeviceServer",
+    "OverlapReport",
     "RequestMetrics",
     "RequestStatus",
     "ServiceMetrics",

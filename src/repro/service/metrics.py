@@ -94,6 +94,11 @@ class ServiceMetrics:
     objects_aborted: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: event-clock milliseconds of the last overlapped run (None until
+    #: the service has run under the event-driven engine).
+    elapsed_ms: Optional[float] = None
+    #: per-device busy fraction of that run (empty until overlapped).
+    device_utilization: List[float] = field(default_factory=list)
     per_request: Dict[int, RequestMetrics] = field(default_factory=dict)
 
     def open_request(
@@ -106,6 +111,12 @@ class ServiceMetrics:
         self.per_request[request_id] = metrics
         self.requests_submitted += 1
         return metrics
+
+    def record_overlap(self, report) -> None:
+        """Fold an :class:`~repro.service.device_server.OverlapReport`
+        into the service-wide counters (elapsed time, utilization)."""
+        self.elapsed_ms = report.elapsed_ms
+        self.device_utilization = list(report.device_utilization)
 
     def finished(self) -> List[RequestMetrics]:
         """Metrics of completed requests, by completion time."""
@@ -145,4 +156,6 @@ class ServiceMetrics:
             "cache_misses": self.cache_misses,
             "p50_latency": self.percentile_latency(0.50),
             "p95_latency": self.percentile_latency(0.95),
+            "elapsed_ms": self.elapsed_ms,
+            "device_utilization": list(self.device_utilization),
         }

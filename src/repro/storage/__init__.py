@@ -9,6 +9,7 @@ measurement instrument behind every figure in Section 6.
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferManager, BufferStats
 from repro.storage.disk import DiskStats, Extent, SimulatedDisk
+from repro.storage.events import AsyncIOEngine, EventClock, InFlightIO
 from repro.storage.heap import HeapFile
 from repro.storage.multidisk import MultiDeviceDisk
 from repro.storage.snapshot import load_store, save_store
@@ -23,12 +24,15 @@ from repro.storage.record import (
 from repro.storage.store import ObjectStore, PagePlanner
 
 __all__ = [
+    "AsyncIOEngine",
     "BTree",
     "BufferManager",
     "BufferStats",
     "DiskStats",
+    "EventClock",
     "Extent",
     "HeapFile",
+    "InFlightIO",
     "MultiDeviceDisk",
     "NULL_OID",
     "OBJECT_PAYLOAD_SIZE",

@@ -16,10 +16,14 @@ make breadth-first scheduling pathological in Figure 11A.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import DiskError, ExtentError
 from repro.storage.page import PAGE_SIZE, Page
+
+#: Observer of physical reads: called with ``(seek_distance, n_pages)``
+#: once per physical read operation (a multi-page run is one call).
+IoListener = Callable[[int, int], None]
 
 
 @dataclass
@@ -44,6 +48,10 @@ class DiskStats:
     pages_read: int = 0
     #: Multi-page contiguous runs among ``reads``.
     run_reads: int = 0
+    #: Milliseconds this device spent serving reads under an
+    #: event-driven engine (:mod:`repro.storage.events`); stays 0.0 on
+    #: the synchronous path, where time is not modelled per device.
+    busy_ms: float = 0.0
     #: Per-read seek distances, kept for distribution-level assertions.
     read_seeks: List[int] = field(default_factory=list, repr=False)
 
@@ -74,6 +82,7 @@ class DiskStats:
             write_seek_total=self.write_seek_total,
             pages_read=self.pages_read,
             run_reads=self.run_reads,
+            busy_ms=self.busy_ms,
             read_seeks=list(self.read_seeks),
         )
 
@@ -156,6 +165,7 @@ class SimulatedDisk:
         self._next_free = 0
         self._head = 0
         self.stats = DiskStats()
+        self._io_listener: Optional[IoListener] = None
 
     # -- geometry -----------------------------------------------------------
 
@@ -220,6 +230,20 @@ class SimulatedDisk:
             return Page(page_id)
         return Page.from_bytes(page_id, image)
 
+    def set_io_listener(
+        self, listener: Optional[IoListener]
+    ) -> Optional[IoListener]:
+        """Install an observer of physical reads; returns the previous one.
+
+        The listener is called ``(seek_distance, n_pages)`` once per
+        physical read operation — a multi-page run is a single call.
+        The event-driven engine (:mod:`repro.storage.events`) uses this
+        to price exactly the reads one asynchronous request performed.
+        """
+        previous = self._io_listener
+        self._io_listener = listener
+        return previous
+
     def read(self, page_id: int) -> Page:
         """Read a page, moving the head and charging the seek."""
         self._check(page_id)
@@ -228,6 +252,8 @@ class SimulatedDisk:
         self.stats.pages_read += 1
         self.stats.read_seek_total += distance
         self.stats.read_seeks.append(distance)
+        if self._io_listener is not None:
+            self._io_listener(distance, 1)
         return self._page_image(page_id)
 
     def read_run(self, start: int, n_pages: int) -> List[Page]:
@@ -253,6 +279,8 @@ class SimulatedDisk:
         self.stats.pages_read += n_pages
         self.stats.read_seek_total += distance
         self.stats.read_seeks.append(distance)
+        if self._io_listener is not None:
+            self._io_listener(distance, n_pages)
         return [self._page_image(start + i) for i in range(n_pages)]
 
     def read_batch(self, page_ids: Sequence[int]) -> List[Page]:

@@ -87,6 +87,21 @@ class MultiDeviceDisk(SimulatedDisk):
         stats.read_seek_total += seek
         stats.read_seeks.append(seek)
 
+    def write(self, page) -> None:
+        """Write a page, mirroring the charge into its device's ledger.
+
+        The seek is charged against the owning device's head via the
+        overridden ``_seek_to``; recording it here too keeps the
+        invariant that the per-device stats always sum to the
+        aggregate — for writes exactly as for reads, and consistently
+        across ``reset_stats``.
+        """
+        before = self.stats.write_seek_total
+        super().write(page)
+        stats = self.device_stats[self.device_of(page.page_id)]
+        stats.writes += 1
+        stats.write_seek_total += self.stats.write_seek_total - before
+
     def read(self, page_id: int):
         page = super().read(page_id)
         self._record_device_read(page_id // self.pages_per_device, 1)

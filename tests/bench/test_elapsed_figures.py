@@ -1,0 +1,35 @@
+"""The E-figure family at reduced scale: shapes must already hold."""
+
+from repro.bench.elapsed import figure_elapsed
+
+
+class TestFigureElapsed:
+    def run(self):
+        return figure_elapsed(
+            db_size=80, window_per_device=8, cluster_pages=64
+        )
+
+    def test_no_violations_at_small_scale(self):
+        figures = self.run()
+        assert [f.figure_id for f in figures] == [
+            "Figure E-1",
+            "Figure E-2",
+            "Figure E-3",
+        ]
+        for figure in figures:
+            assert figure.violations == [], figure.figure_id
+
+    def test_e1_series_shapes(self):
+        e1 = self.run()[0]
+        elapsed = e1.ys("pipelined elapsed (ms)")
+        summed = e1.ys("synchronous sum of device service (ms)")
+        assert len(elapsed) == len(summed) == 3
+        # One device: no overlap possible.
+        assert elapsed[0] == summed[0]
+        # Four devices: elapsed is a fraction of the synchronous sum.
+        assert elapsed[-1] < summed[-1]
+
+    def test_e3_utilizations_are_fractions(self):
+        e3 = self.run()[2]
+        for _device, utilization in e3.series["utilization"]:
+            assert 0.0 < utilization <= 1.0 + 1e-9

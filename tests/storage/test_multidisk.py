@@ -101,3 +101,62 @@ class TestPersistence:
         page.insert(b"on device one")
         disk.write(page)
         assert disk.read(150).read(0) == b"on device one"
+
+
+class TestAccountingConsistency:
+    """Aggregate stats must equal the sum of the per-device stats —
+    including after a parent ``reset_stats`` (the regression: child
+    run/batch accounting used to be able to drift from the parent)."""
+
+    def exercise(self, disk):
+        for page_id in (10, 150, 30, 170):
+            page = Page(page_id)
+            page.insert(b"x")
+            disk.write(page)
+        disk.read(10)
+        disk.read(150)
+        disk.read_run(20, 4)
+        disk.read_run(160, 3)
+
+    def assert_consistent(self, disk):
+        for field in (
+            "reads",
+            "writes",
+            "read_seek_total",
+            "write_seek_total",
+            "pages_read",
+            "run_reads",
+        ):
+            aggregate = getattr(disk.stats, field)
+            mirrored = sum(getattr(s, field) for s in disk.device_stats)
+            assert aggregate == mirrored, field
+        assert disk.stats.busy_ms == sum(
+            s.busy_ms for s in disk.device_stats
+        )
+
+    def test_writes_mirrored_per_device(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=100)
+        self.exercise(disk)
+        assert disk.device_stats[0].writes == 2
+        assert disk.device_stats[1].writes == 2
+        self.assert_consistent(disk)
+
+    def test_parent_reset_resets_children(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=100)
+        self.exercise(disk)
+        disk.reset_stats()
+        for stats in [disk.stats] + list(disk.device_stats):
+            assert stats.reads == 0
+            assert stats.writes == 0
+            assert stats.pages_read == 0
+            assert stats.run_reads == 0
+            assert stats.read_seek_total == 0
+            assert stats.write_seek_total == 0
+            assert stats.busy_ms == 0.0
+
+    def test_accounting_consistent_after_reset(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=100)
+        self.exercise(disk)
+        disk.reset_stats()
+        self.exercise(disk)
+        self.assert_consistent(disk)
