@@ -986,7 +986,15 @@ def _register_elapsed() -> None:
     ALL_FIGURES["elapsed"] = figure_elapsed
 
 
+def _register_robustness() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    from repro.bench.robustness import figure_robustness
+
+    ALL_FIGURES["robustness"] = figure_robustness
+
+
 _register_baselines()
 _register_service()
 _register_batch()
 _register_elapsed()
+_register_robustness()

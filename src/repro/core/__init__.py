@@ -2,7 +2,13 @@
 
 from repro.core.adaptive import AdaptiveElevatorScheduler
 from repro.core.assembled import AssembledComplexObject, AssembledObject
-from repro.core.assembly import Assembly, AssemblyStats
+from repro.core.assembly import (
+    FAIL_FAST,
+    PARTIAL,
+    SKIP_OBJECT,
+    Assembly,
+    AssemblyStats,
+)
 from repro.core.multidevice import (
     MultiDeviceScheduler,
     PipelinedAssembly,
@@ -48,6 +54,9 @@ __all__ = [
     "BreadthFirstScheduler",
     "CScanScheduler",
     "DeviceServerAssembly",
+    "FAIL_FAST",
+    "PARTIAL",
+    "SKIP_OBJECT",
     "TraceEvent",
     "InterleavedAssemblies",
     "TuningResult",

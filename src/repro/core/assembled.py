@@ -120,6 +120,12 @@ class AssembledComplexObject:
     serial: int
     fetches: int = 0
     shared_links: int = 0
+    #: assembled under the ``partial`` degradation mode with at least
+    #: one faulted subtree dropped; :meth:`verify_swizzled` will fail
+    #: on such objects by design (the missing references dangle).
+    degraded: bool = False
+    #: template subtrees lost to faults (0 unless ``degraded``).
+    missing_components: int = 0
 
     @property
     def root_oid(self) -> Oid:

@@ -45,10 +45,22 @@ from repro.core.schedulers import (
 )
 from repro.core.template import Template
 from repro.core.window import ComplexObjectState, Window
-from repro.errors import AssemblyError, BufferFullError
+from repro.errors import (
+    AssemblyError,
+    BufferFullError,
+    FaultError,
+    RetriesExhaustedError,
+)
+from repro.storage.faults import DeviceHealthTracker, RetryPolicy
 from repro.storage.oid import Oid
 from repro.storage.store import ObjectStore
 from repro.volcano.iterator import Row, VolcanoIterator
+
+#: Graceful-degradation modes for faulted fetches.
+FAIL_FAST = "fail_fast"
+SKIP_OBJECT = "skip_object"
+PARTIAL = "partial"
+ON_FAULT_MODES = (FAIL_FAST, SKIP_OBJECT, PARTIAL)
 
 
 @dataclass
@@ -69,6 +81,19 @@ class AssemblyStats:
     prefetch_batches: int = 0
     #: pages covered by those prefetches.
     prefetch_pages: int = 0
+    #: injected faults observed on this operator's fetch path.
+    fault_events: int = 0
+    #: faulted fetches retried under the retry policy.
+    fault_retries: int = 0
+    #: simulated milliseconds of retry backoff charged.
+    fault_backoff_ms: float = 0.0
+    #: complex objects dropped whole under ``skip_object`` degradation
+    #: (each also counts in ``aborted``).
+    fault_skipped: int = 0
+    #: template subtrees dropped under ``partial`` degradation.
+    missing_components: int = 0
+    #: degraded complex objects emitted (``partial`` mode).
+    degraded_emitted: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for benchmark tables."""
@@ -84,6 +109,12 @@ class AssemblyStats:
             "shared_evictions": self.shared_evictions,
             "prefetch_batches": self.prefetch_batches,
             "prefetch_pages": self.prefetch_pages,
+            "fault_events": self.fault_events,
+            "fault_retries": self.fault_retries,
+            "fault_backoff_ms": self.fault_backoff_ms,
+            "fault_skipped": self.fault_skipped,
+            "missing_components": self.missing_components,
+            "degraded_emitted": self.degraded_emitted,
         }
 
 
@@ -140,6 +171,25 @@ class Assembly(VolcanoIterator):
         coalesced disk operation, so every same-page reference and
         every contiguous run costs a single physical read (§4's
         "single disk access per page", generalized to runs).
+    retry_policy:
+        How to retry fetches that raise a
+        :class:`~repro.errors.FaultError` (a
+        :class:`~repro.storage.faults.FaultInjector` is attached to
+        the disk).  ``None`` (default) means no retries: the first
+        fault goes straight to the ``on_fault`` mode.  Backoff is
+        simulated time, charged through the injector.
+    on_fault:
+        What to do once retries (if any) are exhausted.
+        ``"fail_fast"`` (default) re-raises; ``"skip_object"`` aborts
+        the owning complex object (counted in ``fault_skipped`` and
+        ``aborted``); ``"partial"`` drops just the faulted subtree and
+        emits the object marked ``degraded`` — except for root
+        references and predicate-bearing subtrees, which cannot decide
+        membership and degrade to ``skip_object``.
+    health:
+        Optional :class:`~repro.storage.faults.DeviceHealthTracker`
+        fed with per-device success/failure outcomes (a device server
+        shares one tracker across its queries' operators).
     """
 
     def __init__(
@@ -156,6 +206,9 @@ class Assembly(VolcanoIterator):
         tracer: Optional["AssemblyTracer"] = None,
         shared_table_capacity: Optional[int] = None,
         batch_pages: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        on_fault: str = FAIL_FAST,
+        health: Optional[DeviceHealthTracker] = None,
     ) -> None:
         super().__init__()
         self._source = source
@@ -179,6 +232,13 @@ class Assembly(VolcanoIterator):
         if batch_pages <= 0:
             raise AssemblyError("batch_pages must be positive")
         self._batch_pages = batch_pages
+        if on_fault not in ON_FAULT_MODES:
+            raise AssemblyError(
+                f"on_fault must be one of {ON_FAULT_MODES}, got {on_fault!r}"
+            )
+        self._retry_policy = retry_policy
+        self._on_fault = on_fault
+        self._health = health
 
         self._scheduler: Optional[ReferenceScheduler] = None
         self._window: Optional[Window] = None
@@ -498,6 +558,12 @@ class Assembly(VolcanoIterator):
                 self.stats.prefetch_pages += len(fetch_pages)
             except BufferFullError:
                 prefetched = []
+            except FaultError:
+                # An injected fault hit the coalesced prefetch: fall
+                # back to per-reference fetching, where the retry
+                # policy and degradation modes apply per object.
+                self.stats.fault_events += 1
+                prefetched = []
         try:
             for ref in refs:
                 assert self._window is not None
@@ -553,14 +619,118 @@ class Assembly(VolcanoIterator):
             state, ref.node.subtree_predicates - still_missing_preds
         )
 
+    def _fault_now(self) -> float:
+        """Current fault-clock time (0.0 with no injector attached)."""
+        injector = self._store.disk.fault_injector
+        return injector.now if injector is not None else 0.0
+
+    def _fetch_record(self, ref: UnresolvedReference):
+        """Fetch one object, retrying faults under the retry policy.
+
+        The fault-free path (no injector on the disk) is a plain fetch
+        — zero bookkeeping, bit-identical behavior.  With an injector,
+        every :class:`~repro.errors.FaultError` is recorded (stats,
+        trace, health tracker) and retried while the policy allows,
+        charging simulated backoff through the injector; exhaustion
+        raises :class:`~repro.errors.RetriesExhaustedError` (or the
+        original fault when no policy was given).
+        """
+        if self._pin_pages:
+            fetch = self._store.fetch_pinned
+        else:
+            fetch = self._store.fetch
+        injector = self._store.disk.fault_injector
+        if injector is None:
+            return fetch(ref.oid)
+        policy = self._retry_policy
+        attempt = 0
+        while True:
+            try:
+                record = fetch(ref.oid)
+            except FaultError as exc:
+                self.stats.fault_events += 1
+                device = getattr(exc, "device", 0)
+                if self._health is not None:
+                    self._health.record_failure(
+                        device,
+                        now=self._fault_now(),
+                        retry_after=getattr(exc, "retry_after", None),
+                    )
+                if self._tracer is not None:
+                    self._tracer.record(
+                        trace.FAULT, ref.owner, ref.oid,
+                        label=ref.node.label, page_id=ref.page_id,
+                    )
+                if policy is None:
+                    raise
+                if not policy.should_retry(attempt):
+                    raise RetriesExhaustedError(
+                        f"fetch of {ref.oid} still failing after "
+                        f"{attempt} retries",
+                        page_id=ref.page_id,
+                        device=device,
+                        retries=attempt,
+                    ) from exc
+                backoff = policy.backoff_ms(
+                    attempt, getattr(self._store.disk, "cost_model", None)
+                )
+                injector.charge_backoff(backoff)
+                self.stats.fault_retries += 1
+                self.stats.fault_backoff_ms += backoff
+                attempt += 1
+            else:
+                if self._health is not None:
+                    device_fn = getattr(self._store.disk, "device_of", None)
+                    self._health.record_success(
+                        device_fn(ref.page_id) if device_fn else 0
+                    )
+                return record
+
+    def _degrade(
+        self,
+        state: ComplexObjectState,
+        ref: UnresolvedReference,
+        exc: FaultError,
+    ) -> None:
+        """Apply the ``on_fault`` mode to a fetch that gave up.
+
+        ``partial`` drops just the faulted subtree — but only for
+        non-root, predicate-free subtrees; anything that could decide
+        the object's membership (the root itself, or a subtree holding
+        predicates) falls back to ``skip_object``, because emitting the
+        object without evaluating its predicates would be wrong rather
+        than merely incomplete.
+        """
+        if self._on_fault == FAIL_FAST:
+            raise exc
+        partial_ok = (
+            self._on_fault == PARTIAL
+            and ref.parent is not None
+            and ref.node.subtree_predicates == 0
+        )
+        if not partial_ok:
+            self.stats.fault_skipped += 1
+            self._abort(state)
+            return
+        state.degraded = True
+        state.missing_components += 1
+        state.outstanding_nodes -= ref.node.subtree_nodes
+        self.stats.missing_components += 1
+        if self._tracer is not None:
+            self._tracer.record(
+                trace.DEGRADED, state.serial, ref.oid,
+                label=ref.node.label, page_id=ref.page_id,
+            )
+
     def _fetch_and_expand(
         self, state: ComplexObjectState, ref: UnresolvedReference
     ) -> None:
         """The disk path: fetch, pin, swizzle, expand, test predicate."""
-        if self._pin_pages:
-            record = self._store.fetch_pinned(ref.oid)
-        else:
-            record = self._store.fetch(ref.oid)
+        try:
+            record = self._fetch_record(ref)
+        except FaultError as exc:
+            self._degrade(state, ref, exc)
+            return
         page_id = self._store.page_of(ref.oid)
         state.fetches += 1
         self.stats.fetches += 1
@@ -793,9 +963,13 @@ class Assembly(VolcanoIterator):
                 serial=state.serial,
                 fetches=state.fetches,
                 shared_links=state.shared_links,
+                degraded=state.degraded,
+                missing_components=state.missing_components,
             )
         )
         self.stats.emitted += 1
+        if state.degraded:
+            self.stats.degraded_emitted += 1
         if self._tracer is not None:
             self._tracer.record(
                 trace.EMITTED, state.serial, state.root.oid

@@ -21,7 +21,7 @@ backlog; the operator consumes completions as they arrive).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.assembled import AssembledComplexObject
 from repro.core.assembly import Assembly
@@ -30,8 +30,15 @@ from repro.core.schedulers import (
     ReferenceScheduler,
     UnresolvedReference,
 )
-from repro.errors import AssemblyError, BufferFullError, SchedulerError
+from repro.errors import (
+    AssemblyError,
+    BufferFullError,
+    DeviceDownError,
+    SchedulerError,
+    TransientReadError,
+)
 from repro.storage.events import AsyncIOEngine, InFlightIO
+from repro.storage.faults import DeviceHealthTracker, RetryPolicy
 from repro.storage.multidisk import MultiDeviceDisk
 
 
@@ -140,6 +147,15 @@ class PipelineStats:
     sync_fallbacks: int = 0
     #: largest number of requests simultaneously in flight.
     max_in_flight: int = 0
+    #: transient faults retried at issue time (on the device timeline).
+    fault_retries: int = 0
+    #: references re-queued because their device was down.
+    fault_requeues: int = 0
+    #: batches whose issue-time retries ran out and fell back to the
+    #: operator's synchronous fault handling.
+    fault_fallbacks: int = 0
+    #: milliseconds the driver idled waiting for quarantined devices.
+    quarantine_wait_ms: float = 0.0
 
 
 class PipelinedAssembly:
@@ -175,6 +191,8 @@ class PipelinedAssembly:
         issue_depth: int = 1,
         batch_pages: int = 1,
         cpu_ms_per_ref: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional[DeviceHealthTracker] = None,
     ) -> None:
         if issue_depth <= 0:
             raise AssemblyError("issue_depth must be positive")
@@ -191,17 +209,30 @@ class PipelinedAssembly:
         self._issue_depth = issue_depth
         self._batch_pages = batch_pages
         self._cpu_ms_per_ref = cpu_ms_per_ref
+        self._retry_policy = retry_policy
+        #: per-device circuit breaker over the engine clock; a down
+        #: device's sweeps are re-queued and the device skipped until
+        #: its quarantine expires.
+        self.health = (
+            health
+            if health is not None
+            else DeviceHealthTracker(engine.n_devices)
+        )
         self.stats = PipelineStats()
 
     # -- issuing -------------------------------------------------------------
 
     def _next_device(self) -> int:
-        """The deepest pending device with a free issue slot, or -1."""
+        """The deepest pending, non-quarantined device with a free
+        issue slot, or -1."""
         scheduler = self._assembly.scheduler
+        now = self._engine.clock.now
         best = -1
         best_key: Tuple[int, int] = (0, 0)
         for device in scheduler.devices_pending():
             if self._engine.in_flight(device) >= self._issue_depth:
+                continue
+            if not self.health.available(device, now):
                 continue
             key = (-scheduler.device_depth(device), device)
             if best < 0 or key < best_key:
@@ -248,7 +279,7 @@ class PipelinedAssembly:
         try:
             io = self._engine.issue(
                 device,
-                lambda: store.buffer.fix_many(fetch_pages),
+                self._fix_with_retry(device, fetch_pages),
                 payload=(refs, fetch_pages),
             )
         except BufferFullError:
@@ -262,10 +293,70 @@ class PipelinedAssembly:
                 payload=([], []),
             )
             return
+        except DeviceDownError as exc:
+            # Quarantine the device and put the sweep back in the pool;
+            # it re-issues once the circuit breaker reopens.
+            self.health.record_failure(
+                device,
+                now=self._engine.clock.now,
+                retry_after=exc.retry_after,
+            )
+            self.stats.fault_requeues += len(refs)
+            assembly.scheduler.add_siblings(refs)
+            return
+        except TransientReadError:
+            # Issue-time retries ran out: resolve synchronously so the
+            # operator's own retry policy and degradation mode decide
+            # (its reads still price on this device's timeline).
+            self.health.record_failure(
+                device, now=self._engine.clock.now
+            )
+            self.stats.fault_fallbacks += 1
+            self._engine.issue(
+                device,
+                lambda: assembly.resolve_external_batch(refs),
+                payload=([], []),
+            )
+            return
         if io.physical_reads:
             self.stats.physical_issues += 1
         else:
             self.stats.zero_read_issues += 1
+
+    def _fix_with_retry(self, device: int, fetch_pages: List[int]):
+        """An io_fn pinning ``fetch_pages``, retrying transient faults.
+
+        Retries happen *inside* the issued request, so both the wasted
+        reads and the injected backoff are priced on the device's
+        timeline.  Device-down faults and pin-bound overflows are not
+        retried here — they propagate to :meth:`_issue_batch`'s
+        handlers (quarantine / sync fallback).
+        """
+        buffer = self._assembly.store.buffer
+        injector = self._engine.disk.fault_injector
+
+        def io_fn():
+            attempt = 0
+            while True:
+                try:
+                    result = buffer.fix_many(fetch_pages)
+                except TransientReadError:
+                    policy = self._retry_policy
+                    if policy is None or not policy.should_retry(attempt):
+                        raise
+                    backoff = policy.backoff_ms(
+                        attempt, self._engine.cost_model
+                    )
+                    if injector is not None:
+                        injector.charge_backoff(backoff)
+                    self.stats.fault_retries += 1
+                    attempt += 1
+                else:
+                    if attempt or injector is not None:
+                        self.health.record_success(device)
+                    return result
+
+        return io_fn
 
     # -- completing ----------------------------------------------------------
 
@@ -294,6 +385,19 @@ class PipelinedAssembly:
                 out.extend(assembly.drain_emitted())
                 if assembly.is_drained():
                     break
+                if len(assembly.scheduler) > 0:
+                    # References pending but nothing issuable: every
+                    # pending device is quarantined.  Let simulated
+                    # time pass to the earliest recovery and retry.
+                    recovery = self.health.next_recovery(
+                        self._engine.clock.now
+                    )
+                    if recovery is not None:
+                        self.stats.quarantine_wait_ms += (
+                            recovery - self._engine.clock.now
+                        )
+                        self._engine.wait_until(recovery)
+                        continue
                 # Pool dry, nothing in flight, window still occupied:
                 # deferred references must run now (raises if truly
                 # stalled, mirroring the synchronous safety valve).

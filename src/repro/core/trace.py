@@ -32,6 +32,8 @@ DEFERRED = "deferred"
 ACTIVATED = "activated"
 PREDICATE_PASSED = "predicate-passed"
 PREDICATE_FAILED = "predicate-failed"
+FAULT = "fault"
+DEGRADED = "degraded"
 ABORTED = "aborted"
 EMITTED = "emitted"
 
@@ -44,6 +46,8 @@ KINDS = (
     ACTIVATED,
     PREDICATE_PASSED,
     PREDICATE_FAILED,
+    FAULT,
+    DEGRADED,
     ABORTED,
     EMITTED,
 )

@@ -44,6 +44,11 @@ class ComplexObjectState:
     fetches: int = 0
     shared_links: int = 0
     aborted: bool = False
+    #: a faulted subtree was dropped under the ``partial`` degradation
+    #: mode; the emitted object is marked accordingly.
+    degraded: bool = False
+    #: template subtrees lost to faults (0 unless ``degraded``).
+    missing_components: int = 0
 
     def is_complete(self) -> bool:
         """All template-reachable components materialized?"""

@@ -81,6 +81,73 @@ class KeyNotFoundError(IndexError_):
     """Deletion or lookup of a key that is not in the index."""
 
 
+class FaultError(StorageError):
+    """Base class of injected I/O failures (:mod:`repro.storage.faults`).
+
+    Raised only while a :class:`~repro.storage.faults.FaultInjector` is
+    attached to a disk; the fault-free path never sees this family.
+    """
+
+
+class TransientReadError(FaultError):
+    """A physical read failed transiently; retrying may succeed.
+
+    Carries the faulted ``page_id``, the ``device`` it lives on, and
+    the 1-based ``attempt`` count of consecutive failures on that page.
+    """
+
+    def __init__(
+        self,
+        message: str = "transient read error",
+        page_id: int = -1,
+        device: int = 0,
+        attempt: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.device = device
+        self.attempt = attempt
+
+
+class DeviceDownError(FaultError):
+    """A device is inside a down interval and rejects all reads.
+
+    ``retry_after`` is the injector-clock time at which the interval
+    ends (``None`` if unknown) — circuit breakers quarantine the
+    device until then instead of retrying blindly.
+    """
+
+    def __init__(
+        self,
+        message: str = "device down",
+        device: int = 0,
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.device = device
+        self.retry_after = retry_after
+
+
+class RetriesExhaustedError(FaultError):
+    """A retry policy gave up on a faulted read.
+
+    Chains the final underlying fault as ``__cause__``; carries the
+    faulted ``page_id``/``device`` and how many retries were spent.
+    """
+
+    def __init__(
+        self,
+        message: str = "retries exhausted",
+        page_id: int = -1,
+        device: int = 0,
+        retries: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.device = device
+        self.retries = retries
+
+
 # ---------------------------------------------------------------------------
 # Volcano query engine
 # ---------------------------------------------------------------------------

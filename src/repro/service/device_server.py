@@ -43,11 +43,15 @@ from repro.core.template import Template
 from repro.errors import (
     AssemblyError,
     BufferFullError,
+    DeviceDownError,
+    FaultError,
     SchedulerError,
     ServiceStateError,
+    TransientReadError,
 )
 from repro.storage.costmodel import CostModel
 from repro.storage.events import AsyncIOEngine
+from repro.storage.faults import DeviceHealthTracker, RetryPolicy
 from repro.storage.multidisk import MultiDeviceDisk
 from repro.storage.oid import Oid
 from repro.storage.store import ObjectStore
@@ -216,6 +220,17 @@ class OverlapReport:
     resolutions: int = 0
     #: batches that overflowed the pin bound and resolved synchronously.
     sync_fallbacks: int = 0
+    #: transient faults retried at issue time (on device timelines).
+    fault_retries: int = 0
+    #: references re-queued because their device was quarantined.
+    fault_requeues: int = 0
+    #: batches whose issue-time retries ran out and resolved through
+    #: the owning operators' synchronous fault handling.
+    fault_fallbacks: int = 0
+    #: circuit-breaker openings during the run.
+    quarantines: int = 0
+    #: milliseconds the sweep idled waiting for quarantined devices.
+    quarantine_wait_ms: float = 0.0
 
 
 class ClientQuery:
@@ -303,6 +318,13 @@ class DeviceServer:
         self._emit_turn = 0
         #: total references resolved across all queries (the service clock).
         self.resolutions = 0
+        #: coalesced prefetch reads that faulted and fell back to
+        #: per-reference fetching (synchronous batched path).
+        self.prefetch_fault_fallbacks = 0
+        #: per-device circuit breaker, shared with every registered
+        #: query's operator (failures recorded on their fetch paths
+        #: quarantine the device for the whole sweep).
+        self.health = DeviceHealthTracker(len(self._queues))
 
     @staticmethod
     def _head_fn(disk: MultiDeviceDisk, device: int):
@@ -337,6 +359,7 @@ class DeviceServer:
             else ListSource(list(roots))
         )
         proxy = _ProxyScheduler(self, query_id)
+        assembly_kwargs.setdefault("health", self.health)
         assembly = Assembly(
             source,
             self.store,
@@ -410,16 +433,37 @@ class DeviceServer:
                 worst_wait = query.waited
         return worst_id
 
+    def _fault_now(self) -> float:
+        """Current fault-clock time (0.0 with no injector attached)."""
+        injector = self.store.disk.fault_injector
+        return injector.now if injector is not None else 0.0
+
     def _deepest_queue(self) -> "_DeviceQueue":
         # Deepest queue first: elevator sweeps pay off in proportion to
         # queue depth (same rule as MultiDeviceScheduler); ties resolve
-        # to the lowest device index, deterministically.
+        # to the lowest device index, deterministically.  Quarantined
+        # devices are skipped — unless every pending device is
+        # quarantined, in which case the earliest-recovering one is
+        # probed anyway (on the synchronous path, only attempts advance
+        # the injector's op clock, so probing is what ends an outage).
+        now = self._fault_now()
         best_queue = None
         best_depth = 0
-        for queue in self._queues:
+        probe_queue = None
+        probe_recovery = None
+        for device, queue in enumerate(self._queues):
+            if len(queue) == 0:
+                continue
+            if not self.health.available(device, now):
+                recovery = self.health.quarantined_until(device)
+                if probe_recovery is None or recovery < probe_recovery:
+                    probe_queue, probe_recovery = queue, recovery
+                continue
             if len(queue) > best_depth:
                 best_queue = queue
                 best_depth = len(queue)
+        if best_queue is None:
+            best_queue = probe_queue
         if best_queue is None:
             raise SchedulerError("device server pool is empty")
         return best_queue
@@ -467,6 +511,18 @@ class DeviceServer:
         try:
             self.store.buffer.fix_many(fetch_pages)
         except BufferFullError:
+            return []
+        except FaultError as exc:
+            # A faulted coalesced read falls back to per-reference
+            # fetching, where each query's own retry/degradation
+            # policy decides; the health tracker hears about it so the
+            # sweep can route around a quarantined device.
+            self.prefetch_fault_fallbacks += 1
+            self.health.record_failure(
+                getattr(exc, "device", 0),
+                now=self._fault_now(),
+                retry_after=getattr(exc, "retry_after", None),
+            )
             return []
         return fetch_pages
 
@@ -555,6 +611,7 @@ class DeviceServer:
         self,
         cost_model: Optional[CostModel] = None,
         issue_depth: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> OverlapReport:
         """Drive every query with overlapped per-device I/O.
 
@@ -576,9 +633,11 @@ class DeviceServer:
             raise ServiceStateError("issue_depth must be positive")
         engine = AsyncIOEngine(self.store.disk, cost_model)
         resolved_before = self.resolutions
-        sync_fallbacks = 0
+        quarantines_before = self.health.total_quarantines()
+        report = OverlapReport()
         while True:
             while True:
+                now = engine.clock.now
                 best = -1
                 best_key: Tuple[int, int] = (0, 0)
                 for device, queue in enumerate(self._queues):
@@ -586,13 +645,25 @@ class DeviceServer:
                         continue
                     if engine.in_flight(device) >= issue_depth:
                         continue
+                    if not self.health.available(device, now):
+                        continue
                     key = (-len(queue), device)
                     if best < 0 or key < best_key:
                         best, best_key = device, key
                 if best < 0:
                     break
-                sync_fallbacks += self._issue_overlapped(engine, best)
+                self._issue_overlapped(engine, best, retry_policy, report)
             if engine.idle():
+                if self.pending_total() > 0:
+                    # Every pending device is quarantined: idle the
+                    # event clock to the earliest recovery and retry.
+                    recovery = self.health.next_recovery(engine.clock.now)
+                    if recovery is not None:
+                        report.quarantine_wait_ms += (
+                            recovery - engine.clock.now
+                        )
+                        engine.wait_until(recovery)
+                        continue
                 if not self._release_stuck():
                     break
                 continue
@@ -603,20 +674,27 @@ class DeviceServer:
                 for page_id in pinned:
                     self.store.buffer.unfix(page_id)
         self._require_all_finished()
-        return OverlapReport(
-            elapsed_ms=engine.elapsed,
-            device_busy_ms=[
-                engine.busy_time(d) for d in range(engine.n_devices)
-            ],
-            device_utilization=engine.utilizations(),
-            issued=engine.issues,
-            resolutions=self.resolutions - resolved_before,
-            sync_fallbacks=sync_fallbacks,
+        report.elapsed_ms = engine.elapsed
+        report.device_busy_ms = [
+            engine.busy_time(d) for d in range(engine.n_devices)
+        ]
+        report.device_utilization = engine.utilizations()
+        report.issued = engine.issues
+        report.resolutions = self.resolutions - resolved_before
+        report.quarantines = (
+            self.health.total_quarantines() - quarantines_before
         )
+        return report
 
-    def _issue_overlapped(self, engine: AsyncIOEngine, device: int) -> int:
-        """Pop one sweep batch on ``device`` and issue it; returns the
-        number of pin-bound fallbacks (0 or 1)."""
+    def _issue_overlapped(
+        self,
+        engine: AsyncIOEngine,
+        device: int,
+        retry_policy: Optional[RetryPolicy],
+        report: OverlapReport,
+    ) -> None:
+        """Pop one sweep batch on ``device`` and issue it, folding
+        fallbacks, retries and requeues into ``report``."""
         queue = self._queues[device]
         if self.batch_pages > 1:
             batch = queue.pop_batch(
@@ -638,23 +716,90 @@ class DeviceServer:
                 fetch_pages.append(page_id)
         if not fetch_pages:
             engine.issue(device, None, payload=(batch, []))
-            return 0
+            return
         try:
             engine.issue(
                 device,
-                lambda: self.store.buffer.fix_many(fetch_pages),
+                self._fix_with_retry(
+                    engine, device, fetch_pages, retry_policy, report
+                ),
                 payload=(batch, fetch_pages),
             )
-            return 0
         except BufferFullError:
             # Pin bound overflow: resolve synchronously on this
             # device's timeline (reads still priced where they happen).
+            report.sync_fallbacks += 1
             engine.issue(
                 device,
                 lambda: self._resolve_overlapped(batch),
                 payload=([], []),
             )
-            return 1
+        except DeviceDownError as exc:
+            # Quarantine the device and put the whole batch back in
+            # the pool; it re-issues once the breaker reopens.
+            self.health.record_failure(
+                device, now=engine.clock.now, retry_after=exc.retry_after
+            )
+            report.fault_requeues += len(batch)
+            self._requeue(batch)
+        except TransientReadError:
+            # Issue-time retries ran out: hand the batch to the owning
+            # operators' synchronous fault handling (retry policies and
+            # degradation modes are per-query there).
+            self.health.record_failure(device, now=engine.clock.now)
+            report.fault_fallbacks += 1
+            engine.issue(
+                device,
+                lambda: self._resolve_overlapped(batch),
+                payload=([], []),
+            )
+
+    def _fix_with_retry(
+        self,
+        engine: AsyncIOEngine,
+        device: int,
+        fetch_pages: List[int],
+        retry_policy: Optional[RetryPolicy],
+        report: OverlapReport,
+    ):
+        """An io_fn pinning ``fetch_pages``, retrying transient faults
+        inside the issued request (wasted reads and backoff price on
+        the device's timeline)."""
+        injector = self.store.disk.fault_injector
+
+        def io_fn():
+            attempt = 0
+            while True:
+                try:
+                    result = self.store.buffer.fix_many(fetch_pages)
+                except TransientReadError:
+                    if retry_policy is None or not retry_policy.should_retry(
+                        attempt
+                    ):
+                        raise
+                    backoff = retry_policy.backoff_ms(
+                        attempt, engine.cost_model
+                    )
+                    if injector is not None:
+                        injector.charge_backoff(backoff)
+                    report.fault_retries += 1
+                    attempt += 1
+                else:
+                    if injector is not None:
+                        self.health.record_success(device)
+                    return result
+
+        return io_fn
+
+    def _requeue(
+        self, batch: List[Tuple[int, UnresolvedReference]]
+    ) -> None:
+        """Put a popped batch back into the pool (device was down)."""
+        for query_id, ref in batch:
+            query = self._queries.get(query_id)
+            if query is None or query.finished:
+                continue
+            self._enqueue(query_id, ref)
 
     def _resolve_overlapped(
         self, batch: List[Tuple[int, UnresolvedReference]]

@@ -42,6 +42,10 @@ class RequestMetrics:
     aborted: int = 0
     fetches: int = 0
     shared_links: int = 0
+    #: degraded complex objects emitted (``partial`` fault mode).
+    degraded: int = 0
+    #: faulted fetches retried on this request's behalf.
+    fault_retries: int = 0
 
     @property
     def queue_wait(self) -> Optional[int]:
@@ -78,6 +82,8 @@ class RequestMetrics:
             "aborted": self.aborted,
             "fetches": self.fetches,
             "shared_links": self.shared_links,
+            "degraded": self.degraded,
+            "fault_retries": self.fault_retries,
         }
 
 
@@ -92,6 +98,12 @@ class ServiceMetrics:
     requests_queued: int = 0
     objects_emitted: int = 0
     objects_aborted: int = 0
+    #: complex objects emitted with faulted subtrees dropped.
+    objects_degraded: int = 0
+    #: fetches retried after an injected fault, service-wide.
+    fault_retries: int = 0
+    #: complex objects abandoned because of faults (subset of aborted).
+    fault_aborts: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     #: event-clock milliseconds of the last overlapped run (None until
@@ -117,6 +129,7 @@ class ServiceMetrics:
         into the service-wide counters (elapsed time, utilization)."""
         self.elapsed_ms = report.elapsed_ms
         self.device_utilization = list(report.device_utilization)
+        self.fault_retries += getattr(report, "fault_retries", 0)
 
     def finished(self) -> List[RequestMetrics]:
         """Metrics of completed requests, by completion time."""
@@ -152,6 +165,9 @@ class ServiceMetrics:
             "requests_queued": self.requests_queued,
             "objects_emitted": self.objects_emitted,
             "objects_aborted": self.objects_aborted,
+            "objects_degraded": self.objects_degraded,
+            "fault_retries": self.fault_retries,
+            "fault_aborts": self.fault_aborts,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "p50_latency": self.percentile_latency(0.50),

@@ -237,7 +237,13 @@ class AssemblyService:
             return
         for assembled in request.query.take_results():
             request.results.append(assembled)
-            if request.cache_results and self.cache is not None:
+            # Degraded objects are never cached: a later fault-free run
+            # must be able to produce the complete structure.
+            if (
+                request.cache_results
+                and self.cache is not None
+                and not assembled.degraded
+            ):
                 self.cache.put(request.fingerprint, assembled)
 
     def _finish(self, request: _Request) -> None:
@@ -246,6 +252,11 @@ class AssemblyService:
             stats = request.query.stats
             self.metrics.objects_emitted += stats.emitted
             self.metrics.objects_aborted += stats.aborted
+            self.metrics.objects_degraded += stats.degraded_emitted
+            self.metrics.fault_retries += stats.fault_retries
+            self.metrics.fault_aborts += stats.fault_skipped
+            request.metrics.fault_retries = stats.fault_retries
+            request.metrics.degraded = stats.degraded_emitted
             self.server.deregister(request.query.query_id)
         if request.tracer is not None:
             request.metrics.absorb_trace(request.tracer)

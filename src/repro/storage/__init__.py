@@ -10,6 +10,14 @@ from repro.storage.btree import BTree
 from repro.storage.buffer import BufferManager, BufferStats
 from repro.storage.disk import DiskStats, Extent, SimulatedDisk
 from repro.storage.events import AsyncIOEngine, EventClock, InFlightIO
+from repro.storage.faults import (
+    DeviceHealthTracker,
+    DownInterval,
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+)
 from repro.storage.heap import HeapFile
 from repro.storage.multidisk import MultiDeviceDisk
 from repro.storage.snapshot import load_store, save_store
@@ -28,10 +36,16 @@ __all__ = [
     "BTree",
     "BufferManager",
     "BufferStats",
+    "DeviceHealthTracker",
     "DiskStats",
+    "DownInterval",
     "EventClock",
     "Extent",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
     "HeapFile",
+    "RetryPolicy",
     "InFlightIO",
     "MultiDeviceDisk",
     "NULL_OID",

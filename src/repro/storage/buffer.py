@@ -329,7 +329,16 @@ class BufferManager:
             if self._capacity is not None:
                 while len(self._frames) + len(missing) > self._capacity:
                     self._evict_one()
-            for page in self._disk.read_batch(missing):
+            try:
+                batch = self._disk.read_batch(missing)
+            except Exception:
+                # The batch read failed (e.g. an injected fault): give
+                # back the pins taken on the resident pages above so a
+                # rejected batch still leaves the pool balanced.
+                for page_id in pages:
+                    self.unfix(page_id)
+                raise
+            for page in batch:
                 page_id = page.page_id
                 self.stats.fixes += 1
                 self.stats.faults += 1

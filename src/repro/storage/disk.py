@@ -166,6 +166,10 @@ class SimulatedDisk:
         self._head = 0
         self.stats = DiskStats()
         self._io_listener: Optional[IoListener] = None
+        #: optional :class:`repro.storage.faults.FaultInjector`; its
+        #: ``before_read`` gate runs ahead of any head movement or
+        #: accounting, so a failed attempt leaves the disk untouched.
+        self.fault_injector = None
 
     # -- geometry -----------------------------------------------------------
 
@@ -245,8 +249,16 @@ class SimulatedDisk:
         return previous
 
     def read(self, page_id: int) -> Page:
-        """Read a page, moving the head and charging the seek."""
+        """Read a page, moving the head and charging the seek.
+
+        With a fault injector attached the read may raise a
+        :class:`~repro.errors.FaultError` *before* the head moves or
+        anything is accounted — a retried read then performs the exact
+        seek the fault-free run would have.
+        """
         self._check(page_id)
+        if self.fault_injector is not None:
+            self.fault_injector.before_read(page_id, 1)
         distance = self._seek_to(page_id)
         self.stats.reads += 1
         self.stats.pages_read += 1
@@ -271,6 +283,8 @@ class SimulatedDisk:
             raise DiskError("read_run needs at least one page")
         self._check(start)
         self._check(start + n_pages - 1)
+        if self.fault_injector is not None:
+            self.fault_injector.before_read(start, n_pages)
         distance = self._seek_to(start)
         if n_pages > 1:
             self._settle_at(start + n_pages - 1)

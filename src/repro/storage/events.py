@@ -128,6 +128,14 @@ class AsyncIOEngine:
         self.zero_read_issues = 0
         #: milliseconds of exposed CPU charged via :meth:`spend_cpu`.
         self.cpu_time = 0.0
+        #: milliseconds the driver idled waiting for quarantined
+        #: devices to recover (:meth:`wait_until`).
+        self.wait_time = 0.0
+        # A fault injector's down intervals should run on *this* clock,
+        # not its synchronous op counter, once an engine drives the disk.
+        injector = getattr(disk, "fault_injector", None)
+        if injector is not None:
+            injector.bind_clock(lambda: self.clock.now)
 
     # -- geometry ------------------------------------------------------------
 
@@ -171,6 +179,10 @@ class AsyncIOEngine:
         if not 0 <= device < self.n_devices:
             raise DiskError(f"no device {device}")
         reads: List[Tuple[int, int]] = []
+        injector = getattr(self.disk, "fault_injector", None)
+        injected_before = (
+            injector.injected_ms_total if injector is not None else 0.0
+        )
         previous = self.disk.set_io_listener(
             lambda distance, n_pages: reads.append((distance, n_pages))
         )
@@ -179,8 +191,15 @@ class AsyncIOEngine:
                 io_fn()
         finally:
             self.disk.set_io_listener(previous)
+        # Latency spikes and retry backoffs injected while this
+        # request's reads ran occupy the issuing device's timeline.
+        injected = (
+            injector.injected_ms_total - injected_before
+            if injector is not None
+            else 0.0
+        )
         issue_time = self.clock.now
-        if reads:
+        if reads or injected:
             start = max(issue_time, self._busy_until[device])
             # Accumulate left-to-right, one term per physical read, so a
             # serialized schedule reproduces CostedDisk's float sum exactly.
@@ -189,6 +208,8 @@ class AsyncIOEngine:
                 complete += self.cost_model.run_service_time(
                     distance, n_pages
                 )
+            if injected:
+                complete += injected
             self._busy_until[device] = complete
             busy = complete - start
             self._busy_time[device] += busy
@@ -244,6 +265,17 @@ class AsyncIOEngine:
         if milliseconds:
             self.clock.advance_to(self.clock.now + milliseconds)
             self.cpu_time += milliseconds
+
+    def wait_until(self, when: float) -> None:
+        """Idle the clock forward to ``when`` (no-op if already past).
+
+        Fault-aware drivers use this when every pending device is
+        quarantined: nothing can be issued, so simulated time simply
+        passes until the earliest circuit breaker reopens.
+        """
+        if when > self.clock.now:
+            self.wait_time += when - self.clock.now
+            self.clock.advance_to(when)
 
     # -- readout -------------------------------------------------------------
 

@@ -1,0 +1,43 @@
+"""The R-figure family at reduced scale: shapes must already hold."""
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.robustness import figure_robustness
+
+
+class TestFigureRobustness:
+    def run(self):
+        return figure_robustness(
+            db_size=60,
+            window_per_device=8,
+            cluster_pages=64,
+            fault_rates=(0.0, 0.1),
+            n_devices=2,
+        )
+
+    def test_no_violations_at_small_scale(self):
+        figures = self.run()
+        assert [f.figure_id for f in figures] == [
+            "Figure R-1",
+            "Figure R-2",
+        ]
+        for figure in figures:
+            assert figure.violations == [], (
+                f"{figure.figure_id}: {figure.violations}"
+            )
+
+    def test_r1_elapsed_grows_with_the_fault_rate(self):
+        r1 = self.run()[0]
+        elapsed = r1.ys("pipelined elapsed (ms)")
+        retries = r1.ys("fault retries")
+        assert len(elapsed) == len(retries) == 2
+        assert elapsed[1] >= elapsed[0] > 0.0
+        assert retries[0] == 0 and retries[1] > 0
+
+    def test_r2_skips_appear_only_under_faults(self):
+        r2 = self.run()[1]
+        skipped = r2.ys("fault-skipped objects")
+        assert skipped[0] == 0
+        assert skipped[1] > 0
+
+    def test_registered_in_the_figure_catalog(self):
+        assert "robustness" in ALL_FIGURES

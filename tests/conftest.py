@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.cluster.layout import LayoutResult, layout_database
 from repro.cluster.policies import InterObjectClustering
@@ -10,6 +13,13 @@ from repro.storage.buffer import BufferManager
 from repro.storage.disk import SimulatedDisk
 from repro.storage.store import ObjectStore
 from repro.workloads.acob import ACOBDatabase, generate_acob
+
+# Hypothesis profiles: "ci" pins the search (derandomized, no deadline)
+# so the gate never flakes on shared runners; "dev" keeps the random
+# exploration for local runs.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,155 @@
+"""The device server under faults: sync sweep and overlapped runs."""
+
+from __future__ import annotations
+
+from repro.cluster.layout import layout_database
+from repro.cluster.policies import InterObjectClustering
+from repro.service.device_server import DeviceServer
+from repro.storage.buffer import BufferManager
+from repro.storage.faults import (
+    DownInterval,
+    FaultConfig,
+    FaultInjector,
+    RetryPolicy,
+)
+from repro.storage.multidisk import MultiDeviceDisk
+from repro.storage.store import ObjectStore
+from repro.workloads.acob import generate_acob, make_template
+
+
+def build_striped(n=40, n_devices=4, batch_pages=4, config=None,
+                  register_kwargs=None):
+    db = generate_acob(n, seed=2)
+    disk = MultiDeviceDisk(
+        n_devices=n_devices,
+        pages_per_device=(7 * 64) // n_devices + 128,
+    )
+    store = ObjectStore(disk, BufferManager(disk))
+    layout = layout_database(
+        db.complex_objects,
+        store,
+        InterObjectClustering(
+            cluster_pages=64, disk_order=db.type_ids_depth_first()
+        ),
+        shared=db.shared_pool,
+    )
+    injector = None
+    if config is not None:
+        injector = FaultInjector(config).attach(disk)
+    server = DeviceServer(store, batch_pages=batch_pages)
+    template = make_template(db)
+    kwargs = register_kwargs or {}
+    half = n // 2
+    first = server.register(layout.root_order[:half], template, **kwargs)
+    second = server.register(layout.root_order[half:], template, **kwargs)
+    return injector, store, server, first, second
+
+
+class TestSynchronousSweep:
+    def test_transient_faults_retried_same_results(self):
+        _inj, _store, server, first, second = build_striped()
+        server.run()
+        expected = sorted(c.root.oid for c in first.output + second.output)
+
+        injector, store, server, first, second = build_striped(
+            config=FaultConfig(
+                seed=3, read_error_rate=0.1, max_consecutive_failures=2
+            ),
+            register_kwargs=dict(retry_policy=RetryPolicy(max_retries=2)),
+        )
+        server.run()
+        assert injector.stats.transient_errors > 0
+        assert first.finished and second.finished
+        got = sorted(c.root.oid for c in first.output + second.output)
+        assert got == expected
+        # Faults were absorbed somewhere: either a coalesced prefetch
+        # fell back, or a per-reference fetch retried.
+        retried = (
+            first.assembly.stats.fault_retries
+            + second.assembly.stats.fault_retries
+        )
+        assert retried + server.prefetch_fault_fallbacks > 0
+        assert store.buffer.pinned_pages == 0
+
+    def test_outage_waited_out_on_the_op_clock(self):
+        """On the synchronous path only attempts tick the injector's
+        op clock, so a retry budget covering the outage length ends
+        it — each rejected probe advances the clock by one."""
+        injector, store, server, first, second = build_striped(
+            config=FaultConfig(
+                down_intervals=(DownInterval(device=1, start=0.0, end=40.0),)
+            ),
+            register_kwargs=dict(retry_policy=RetryPolicy(max_retries=60)),
+        )
+        server.run()
+        assert first.finished and second.finished
+        assert len(first.output) + len(second.output) == 40
+        assert injector.stats.down_rejections > 0
+        assert store.buffer.pinned_pages == 0
+
+    def test_queries_share_one_health_tracker(self):
+        _inj, _store, server, first, second = build_striped()
+        assert first.assembly._health is server.health
+        assert second.assembly._health is server.health
+
+
+class TestOverlapped:
+    def test_transient_retries_on_device_timelines(self):
+        _inj, _store, server, first, second = build_striped()
+        server.run()
+        expected = sorted(c.root.oid for c in first.output + second.output)
+
+        injector, store, server, first, second = build_striped(
+            config=FaultConfig(
+                seed=3, read_error_rate=0.1, max_consecutive_failures=2
+            ),
+            register_kwargs=dict(retry_policy=RetryPolicy(max_retries=2)),
+        )
+        report = server.run_overlapped(
+            issue_depth=2, retry_policy=RetryPolicy(max_retries=2)
+        )
+        assert first.finished and second.finished
+        got = sorted(c.root.oid for c in first.output + second.output)
+        assert got == expected
+        assert injector.stats.transient_errors > 0
+        assert report.fault_retries + report.fault_fallbacks > 0
+        # The injected backoff landed on the device timelines.
+        assert report.elapsed_ms > 0
+        assert store.buffer.pinned_pages == 0
+
+    def test_outage_requeues_and_waits_out_the_quarantine(self):
+        injector, store, server, first, second = build_striped(
+            config=FaultConfig(
+                down_intervals=(
+                    DownInterval(device=0, start=0.0, end=200.0),
+                ),
+            ),
+            register_kwargs=dict(retry_policy=RetryPolicy(max_retries=2)),
+        )
+        report = server.run_overlapped(
+            issue_depth=2, retry_policy=RetryPolicy(max_retries=2)
+        )
+        assert first.finished and second.finished
+        assert len(first.output) + len(second.output) == 40
+        assert injector.stats.down_rejections > 0
+        assert report.fault_requeues > 0
+        assert report.quarantines >= 1
+        assert report.elapsed_ms >= 200.0
+        assert store.buffer.pinned_pages == 0
+
+    def test_fault_counters_fold_into_service_metrics(self):
+        from repro.service.metrics import ServiceMetrics
+
+        _injector, _store, server, _first, _second = build_striped(
+            config=FaultConfig(
+                seed=3, read_error_rate=0.1, max_consecutive_failures=2
+            ),
+            register_kwargs=dict(retry_policy=RetryPolicy(max_retries=2)),
+        )
+        report = server.run_overlapped(
+            issue_depth=2, retry_policy=RetryPolicy(max_retries=2)
+        )
+        metrics = ServiceMetrics()
+        metrics.record_overlap(report)
+        assert metrics.fault_retries == report.fault_retries
+        assert metrics.snapshot()["fault_retries"] == report.fault_retries

@@ -1,0 +1,92 @@
+"""The per-device circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DiskError
+from repro.storage.faults import DeviceHealthTracker
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(DiskError):
+            DeviceHealthTracker(failure_threshold=0)
+        with pytest.raises(DiskError):
+            DeviceHealthTracker(cooldown=-1.0)
+
+
+class TestBreaker:
+    def test_threshold_opens_the_breaker(self):
+        tracker = DeviceHealthTracker(
+            n_devices=2, failure_threshold=3, cooldown=10.0
+        )
+        for _ in range(2):
+            tracker.record_failure(0, now=5.0)
+        assert tracker.available(0, 5.0)
+        tracker.record_failure(0, now=5.0)
+        assert not tracker.available(0, 5.0)
+        assert tracker.quarantined_until(0) == 15.0
+        # The cooldown expires on the clock, not on calls.
+        assert tracker.available(0, 15.0)
+        # The untouched device was never affected.
+        assert tracker.available(1, 5.0)
+
+    def test_success_closes_the_breaker(self):
+        tracker = DeviceHealthTracker(failure_threshold=2, cooldown=50.0)
+        tracker.record_failure(0, now=0.0)
+        tracker.record_failure(0, now=0.0)
+        assert not tracker.available(0, 1.0)
+        tracker.record_success(0)
+        assert tracker.available(0, 1.0)
+        # And the consecutive count restarts from zero.
+        tracker.record_failure(0, now=1.0)
+        assert tracker.available(0, 1.0)
+
+    def test_explicit_retry_after_opens_immediately(self):
+        tracker = DeviceHealthTracker(failure_threshold=99)
+        tracker.record_failure(0, now=2.0, retry_after=30.0)
+        assert not tracker.available(0, 2.0)
+        assert tracker.quarantined_until(0) == 30.0
+        assert tracker.total_quarantines() == 1
+
+    def test_shorter_retry_after_never_shrinks_quarantine(self):
+        tracker = DeviceHealthTracker()
+        tracker.record_failure(0, retry_after=40.0)
+        tracker.record_failure(0, retry_after=10.0)
+        assert tracker.quarantined_until(0) == 40.0
+        assert tracker.total_quarantines() == 1
+
+    def test_unknown_devices_created_on_first_touch(self):
+        tracker = DeviceHealthTracker(n_devices=1)
+        assert tracker.available(7, 0.0)
+        tracker.record_failure(7, retry_after=5.0)
+        assert not tracker.available(7, 0.0)
+
+
+class TestRecoveryAndSnapshot:
+    def test_next_recovery_is_the_earliest_reopening(self):
+        tracker = DeviceHealthTracker(n_devices=3)
+        assert tracker.next_recovery(0.0) is None
+        tracker.record_failure(0, retry_after=20.0)
+        tracker.record_failure(2, retry_after=8.0)
+        assert tracker.next_recovery(0.0) == 8.0
+        assert tracker.next_recovery(9.0) == 20.0
+        assert tracker.next_recovery(25.0) is None
+
+    def test_snapshot_shape(self):
+        tracker = DeviceHealthTracker(n_devices=2)
+        tracker.record_success(0)
+        tracker.record_failure(1, retry_after=3.0)
+        snap = tracker.snapshot()
+        assert set(snap) == {0, 1}
+        for record in snap.values():
+            assert set(record) == {
+                "consecutive_failures",
+                "failures",
+                "successes",
+                "quarantines",
+                "quarantined_until",
+            }
+        assert snap[0]["successes"] == 1
+        assert snap[1]["quarantines"] == 1

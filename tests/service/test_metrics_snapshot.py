@@ -1,0 +1,112 @@
+"""Metric surfaces are complete: every counter reaches its flat view.
+
+Reports and the regression gate consume ``snapshot()`` /
+``as_dict()`` dictionaries, so a counter that exists on the dataclass
+but is missing from the flat view silently disappears from every
+figure.  These tests pin the dataclass-field ↔ flat-view
+correspondence, including the fault counters added with the
+robustness layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.service.device_server import OverlapReport
+from repro.service.metrics import RequestMetrics, ServiceMetrics
+
+
+class TestServiceMetricsSnapshot:
+    def test_every_counter_field_is_in_the_snapshot(self):
+        snapshot = ServiceMetrics().snapshot()
+        skipped = {"per_request"}  # per-request detail is deliberately omitted
+        for field in dataclasses.fields(ServiceMetrics):
+            if field.name in skipped:
+                continue
+            assert field.name in snapshot, (
+                f"ServiceMetrics.{field.name} never reaches snapshot()"
+            )
+
+    def test_fault_counters_present_and_zero_by_default(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["objects_degraded"] == 0
+        assert snapshot["fault_retries"] == 0
+        assert snapshot["fault_aborts"] == 0
+
+    def test_snapshot_is_detached_from_the_live_lists(self):
+        metrics = ServiceMetrics()
+        metrics.device_utilization = [0.5, 0.25]
+        snapshot = metrics.snapshot()
+        snapshot["device_utilization"].append(1.0)
+        assert metrics.device_utilization == [0.5, 0.25]
+
+    def test_record_overlap_folds_fault_retries_additively(self):
+        metrics = ServiceMetrics()
+        report = OverlapReport(
+            elapsed_ms=10.0,
+            device_utilization=[1.0],
+            fault_retries=3,
+        )
+        metrics.record_overlap(report)
+        metrics.record_overlap(report)
+        assert metrics.fault_retries == 6
+        assert metrics.elapsed_ms == 10.0
+        assert metrics.snapshot()["fault_retries"] == 6
+
+
+class TestRequestMetricsAsDict:
+    def test_every_counter_field_is_in_as_dict(self):
+        flat = RequestMetrics(request_id=7).as_dict()
+        # Clock fields surface as the derived queue_wait/latency pair;
+        # window_size is reported under the shorter "window" key.
+        renamed = {
+            "submitted_at", "started_at", "completed_at", "window_size",
+        }
+        for field in dataclasses.fields(RequestMetrics):
+            if field.name in renamed:
+                continue
+            assert field.name in flat, (
+                f"RequestMetrics.{field.name} never reaches as_dict()"
+            )
+        assert {"queue_wait", "latency", "window"} <= set(flat)
+
+    def test_fault_fields_default_to_zero(self):
+        flat = RequestMetrics(request_id=7).as_dict()
+        assert flat["degraded"] == 0
+        assert flat["fault_retries"] == 0
+
+    def test_derived_clocks(self):
+        metrics = RequestMetrics(request_id=1, submitted_at=5)
+        assert metrics.queue_wait is None and metrics.latency is None
+        metrics.started_at = 9
+        metrics.completed_at = 21
+        assert metrics.queue_wait == 4
+        assert metrics.latency == 16
+
+
+class TestOverlapReportShape:
+    def test_fault_counters_exist_with_zero_defaults(self):
+        report = OverlapReport()
+        assert report.fault_retries == 0
+        assert report.fault_requeues == 0
+        assert report.fault_fallbacks == 0
+        assert report.quarantines == 0
+        assert report.quarantine_wait_ms == 0.0
+
+    def test_field_inventory(self):
+        """The full report surface, pinned: removing or renaming a
+        field breaks ServiceMetrics.record_overlap consumers."""
+        names = {field.name for field in dataclasses.fields(OverlapReport)}
+        assert names == {
+            "elapsed_ms",
+            "device_busy_ms",
+            "device_utilization",
+            "issued",
+            "resolutions",
+            "sync_fallbacks",
+            "fault_retries",
+            "fault_requeues",
+            "fault_fallbacks",
+            "quarantines",
+            "quarantine_wait_ms",
+        }
