@@ -5,6 +5,7 @@ paper's full parameters).  Name figures to run a subset, e.g.::
 
     python -m repro.bench fig11 fig14
     python -m repro.bench --list
+    python -m repro.bench --trace-out trace.json   # instrumented run
 """
 
 from __future__ import annotations
@@ -44,6 +45,21 @@ def main(argv: List[str] = None) -> int:
         metavar="FILE",
         help="also write all figures (series, notes, checks) to FILE",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="run one instrumented benchmark point and write its span "
+        "trace to FILE as Chrome trace_event JSON (tracing never "
+        "changes any benchmark number)",
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of window-slot subtrees kept in --trace-out "
+        "(deterministic; default 1.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -51,7 +67,8 @@ def main(argv: List[str] = None) -> int:
             print(name)
         return 0
 
-    names = args.figures or list(ALL_FIGURES)
+    # --trace-out alone traces one run without sweeping every figure.
+    names = args.figures or ([] if args.trace_out else list(ALL_FIGURES))
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         parser.error(f"unknown figures: {', '.join(unknown)}")
@@ -83,6 +100,17 @@ def main(argv: List[str] = None) -> int:
         from repro.bench.export import write_json
 
         print(f"wrote {write_json(collected, args.json, timings=timings)}")
+    if args.trace_out:
+        from repro.bench.harness import ExperimentConfig, trace_experiment
+
+        config = ExperimentConfig(n_complex_objects=100, window_size=8)
+        result, path = trace_experiment(
+            config, args.trace_out, sample_rate=args.trace_sample_rate
+        )
+        print(
+            f"wrote {path} (traced {result.emitted} objects, "
+            f"{result.reads} reads)"
+        )
     if failures:
         print(f"{failures} shape check(s) FAILED")
         return 1

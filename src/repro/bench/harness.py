@@ -15,7 +15,7 @@ disk so no state leaks between runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.layout import LayoutResult, layout_database
 from repro.cluster.policies import (
@@ -36,6 +36,9 @@ from repro.workloads.acob import (
     make_template,
     payload_predicate,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.spans import SpanRecorder
 
 #: Clustering names accepted by :class:`ExperimentConfig`.
 CLUSTERINGS = ("inter-object", "intra-object", "unclustered")
@@ -166,9 +169,17 @@ def build_layout(config: ExperimentConfig) -> Tuple[ACOBDatabase, LayoutResult]:
 
 
 def build_assembly(
-    config: ExperimentConfig, database: ACOBDatabase, layout: LayoutResult
+    config: ExperimentConfig,
+    database: ACOBDatabase,
+    layout: LayoutResult,
+    spans: Optional["SpanRecorder"] = None,
 ) -> Assembly:
-    """Construct the assembly operator for one run."""
+    """Construct the assembly operator for one run.
+
+    ``spans`` optionally attaches a
+    :class:`~repro.obs.spans.SpanRecorder` to the operator; tracing is
+    strictly observational and never changes results or disk metrics.
+    """
     predicate = None
     predicate_position = None
     if config.selectivity is not None:
@@ -180,6 +191,9 @@ def build_assembly(
         predicate_position=predicate_position,
         predicate=predicate,
     )
+    kwargs: Dict[str, object] = {}
+    if spans is not None:
+        kwargs["spans"] = spans
     return Assembly(
         ListSource(layout.root_order),
         layout.store,
@@ -188,13 +202,25 @@ def build_assembly(
         scheduler=config.scheduler,
         use_sharing_statistics=config.use_sharing_statistics,
         batch_pages=config.batch_pages,
+        **kwargs,
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one parameter point and collect all metrics."""
+def run_experiment(
+    config: ExperimentConfig, spans: Optional["SpanRecorder"] = None
+) -> ExperimentResult:
+    """Execute one parameter point and collect all metrics.
+
+    When a ``spans`` recorder is given, its clock is bound to the run's
+    disk page counter — a deterministic simulated-time axis — and the
+    operator emits assembly/window-slot/fetch/batch spans into it.  The
+    returned metrics are bit-identical with or without the recorder.
+    """
     database, layout = build_layout(config)
-    operator = build_assembly(config, database, layout)
+    if spans is not None:
+        disk_stats = layout.store.disk.stats
+        spans.bind_clock(lambda: float(disk_stats.pages_read))
+    operator = build_assembly(config, database, layout, spans=spans)
     emitted = sum(1 for _ in operator.rows())
     store = layout.store
     disk_stats = store.disk.stats
@@ -215,6 +241,33 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         scheduler_ops=operator.stats.scheduler_ops,
         pages_spanned=layout.pages_spanned(),
     )
+
+
+def trace_experiment(
+    config: ExperimentConfig,
+    path: str,
+    fmt: str = "chrome",
+    sample_rate: float = 1.0,
+) -> Tuple[ExperimentResult, str]:
+    """Run one instrumented experiment and export its span trace.
+
+    Returns ``(result, written_path)``.  ``fmt`` is ``"chrome"`` (Chrome
+    ``trace_event`` JSON for ``chrome://tracing`` / Perfetto) or
+    ``"jsonl"`` (the flat span log ``python -m repro.obs`` consumes).
+    ``sample_rate`` thins window-slot subtrees deterministically; the
+    experiment result itself is unaffected by tracing or sampling.
+    """
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.spans import SpanRecorder
+
+    if fmt not in ("chrome", "jsonl"):
+        raise ReproError(
+            f"unknown trace format {fmt!r} (want 'chrome' or 'jsonl')"
+        )
+    spans = SpanRecorder(sample_rate=sample_rate)
+    result = run_experiment(config, spans=spans)
+    writer = write_chrome_trace if fmt == "chrome" else write_jsonl
+    return result, str(writer(spans.spans, path))
 
 
 def sweep(

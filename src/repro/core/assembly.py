@@ -33,7 +33,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.spans import Span, SpanRecorder
 
 from repro.core.assembled import AssembledComplexObject, AssembledObject
 from repro.core import trace
@@ -190,6 +193,17 @@ class Assembly(VolcanoIterator):
         Optional :class:`~repro.storage.faults.DeviceHealthTracker`
         fed with per-device success/failure outcomes (a device server
         shares one tracker across its queries' operators).
+    spans:
+        Optional :class:`~repro.obs.spans.SpanRecorder`.  When given,
+        the operator records an ``assembly`` span over its open/close
+        lifetime, a (sampled) ``window-slot`` span per admitted complex
+        object, ``fetch`` spans around disk fetches, ``batch`` spans
+        around coalesced prefetches, and ``retry-backoff`` events —
+        strictly observationally: results, fetch order, disk stats and
+        every counter are bit-identical with or without a recorder.
+    parent_span:
+        Span to parent the operator's ``assembly`` span under (the
+        service parents it under the owning request's span).
     """
 
     def __init__(
@@ -209,6 +223,8 @@ class Assembly(VolcanoIterator):
         retry_policy: Optional[RetryPolicy] = None,
         on_fault: str = FAIL_FAST,
         health: Optional[DeviceHealthTracker] = None,
+        spans: Optional["SpanRecorder"] = None,
+        parent_span: Optional["Span"] = None,
     ) -> None:
         super().__init__()
         self._source = source
@@ -239,6 +255,10 @@ class Assembly(VolcanoIterator):
         self._retry_policy = retry_policy
         self._on_fault = on_fault
         self._health = health
+        self._spans = spans
+        self._parent_span = parent_span
+        self._assembly_span: Optional["Span"] = None
+        self._slot_spans: Dict[int, "Span"] = {}
 
         self._scheduler: Optional[ReferenceScheduler] = None
         self._window: Optional[Window] = None
@@ -267,6 +287,20 @@ class Assembly(VolcanoIterator):
         self.stats = AssemblyStats()
         if self._tracer is not None:
             self._tracer.clear()
+        if self._spans is not None:
+            scheduler_name = (
+                self._scheduler_spec
+                if isinstance(self._scheduler_spec, str)
+                else type(self._scheduler_spec).__name__
+            )
+            self._assembly_span = self._spans.begin(
+                "assembly",
+                parent=self._parent_span,
+                kind="assembly",
+                window=self._window_size,
+                scheduler=scheduler_name,
+            )
+            self._slot_spans = {}
         self._source.open()
         self._fill_window()
 
@@ -317,6 +351,18 @@ class Assembly(VolcanoIterator):
         self.stats.scheduler_ops = (
             self._scheduler.ops if self._scheduler is not None else 0
         )
+        if self._spans is not None:
+            for span in self._slot_spans.values():
+                self._spans.end(span, outcome="unfinished")
+            self._slot_spans = {}
+            if self._assembly_span is not None:
+                self._spans.end(
+                    self._assembly_span,
+                    emitted=self.stats.emitted,
+                    aborted=self.stats.aborted,
+                    fetches=self.stats.fetches,
+                )
+                self._assembly_span = None
         self._source.close()
 
     # -- external draining (device-server hooks) -----------------------------
@@ -461,6 +507,7 @@ class Assembly(VolcanoIterator):
                 trace.ADMITTED, state.serial, oid,
                 label=root_node.label, page_id=ref.page_id,
             )
+        self._begin_slot_span(state.serial, oid)
         self._scheduler.add(ref)
 
     def _admit_partial(self, root: AssembledObject) -> None:
@@ -481,6 +528,7 @@ class Assembly(VolcanoIterator):
             total_predicates=missing_predicates,
         )
         state.root = root
+        self._begin_slot_span(state.serial, root.oid)
         # Predicates on nodes the partial input already materialized.
         if not self._evaluate_materialized_predicates(state, root):
             return
@@ -491,6 +539,29 @@ class Assembly(VolcanoIterator):
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    # -- span bookkeeping ----------------------------------------------------
+
+    def _begin_slot_span(self, serial: int, oid: Oid) -> None:
+        """Open a (sampled) ``window-slot`` span for one admitted object."""
+        if self._spans is None:
+            return
+        self._slot_spans[serial] = self._spans.begin(
+            "window-slot",
+            parent=self._assembly_span,
+            kind="window-slot",
+            sample=True,
+            serial=serial,
+            oid=str(oid),
+        )
+
+    def _end_slot_span(self, serial: int, outcome: str, **attrs: object) -> None:
+        """Close one object's ``window-slot`` span with its outcome."""
+        if self._spans is None:
+            return
+        span = self._slot_spans.pop(serial, None)
+        if span is not None:
+            self._spans.end(span, outcome=outcome, **attrs)
 
     # -- resolution --------------------------------------------------------------------
 
@@ -550,6 +621,15 @@ class Assembly(VolcanoIterator):
                 seen_pages.add(page_id)
                 fetch_pages.append(page_id)
         prefetched: List[int] = []
+        batch_span = None
+        if self._spans is not None and fetch_pages:
+            batch_span = self._spans.begin(
+                "batch",
+                parent=self._assembly_span,
+                kind="batch",
+                refs=len(refs),
+                pages=len(fetch_pages),
+            )
         if len(fetch_pages) > 1:
             try:
                 self._store.buffer.fix_many(fetch_pages)
@@ -573,6 +653,8 @@ class Assembly(VolcanoIterator):
         finally:
             for page_id in prefetched:
                 self._store.buffer.unfix(page_id)
+            if batch_span is not None:
+                self._spans.end(batch_span, prefetched=len(prefetched))
 
     def _link_shared(
         self, state: ComplexObjectState, ref: UnresolvedReference
@@ -661,6 +743,15 @@ class Assembly(VolcanoIterator):
                         trace.FAULT, ref.owner, ref.oid,
                         label=ref.node.label, page_id=ref.page_id,
                     )
+                if self._spans is not None:
+                    self._spans.event(
+                        "retry-backoff",
+                        parent=self._slot_spans.get(ref.owner),
+                        kind="retry",
+                        device=device,
+                        oid=str(ref.oid),
+                        attempt=attempt,
+                    )
                 if policy is None:
                     raise
                 if not policy.should_retry(attempt):
@@ -726,11 +817,26 @@ class Assembly(VolcanoIterator):
         self, state: ComplexObjectState, ref: UnresolvedReference
     ) -> None:
         """The disk path: fetch, pin, swizzle, expand, test predicate."""
+        fetch_span = None
+        if self._spans is not None:
+            device_fn = getattr(self._store.disk, "device_of", None)
+            fetch_span = self._spans.begin(
+                "fetch",
+                parent=self._slot_spans.get(state.serial),
+                kind="fetch",
+                device=device_fn(ref.page_id) if device_fn else 0,
+                oid=str(ref.oid),
+                page=ref.page_id,
+            )
         try:
             record = self._fetch_record(ref)
         except FaultError as exc:
+            if fetch_span is not None:
+                self._spans.end(fetch_span, outcome="faulted")
             self._degrade(state, ref, exc)
             return
+        if fetch_span is not None:
+            self._spans.end(fetch_span, outcome="fetched")
         page_id = self._store.page_of(ref.oid)
         state.fetches += 1
         self.stats.fetches += 1
@@ -974,6 +1080,10 @@ class Assembly(VolcanoIterator):
             self._tracer.record(
                 trace.EMITTED, state.serial, state.root.oid
             )
+        self._end_slot_span(
+            state.serial, "emitted",
+            fetches=state.fetches, shared_links=state.shared_links,
+        )
         self._fill_window()
 
     def _abort(self, state: ComplexObjectState) -> None:
@@ -987,4 +1097,5 @@ class Assembly(VolcanoIterator):
         self.stats.aborted += 1
         if self._tracer is not None:
             self._tracer.record(trace.ABORTED, state.serial, state.root_oid)
+        self._end_slot_span(state.serial, "aborted", fetches=state.fetches)
         self._fill_window()

@@ -19,7 +19,7 @@ order or results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.storage.oid import Oid
 
@@ -67,18 +67,31 @@ class TraceEvent:
     label: str = ""
     #: physical page, where meaningful (-1 otherwise).
     page_id: int = -1
+    #: simulated-clock stamp, when the tracer has a clock (-1.0 means
+    #: unstamped — the historical, purely ordinal trace).
+    at: float = -1.0
 
     def __str__(self) -> str:
         where = f" @page {self.page_id}" if self.page_id >= 0 else ""
         what = f" [{self.label}]" if self.label else ""
-        return f"#{self.owner} {self.kind}: {self.oid}{what}{where}"
+        when = f" t={self.at:g}" if self.at >= 0 else ""
+        return f"#{self.owner} {self.kind}: {self.oid}{what}{where}{when}"
 
 
 class AssemblyTracer:
-    """Collects :class:`TraceEvent` records during one execution."""
+    """Collects :class:`TraceEvent` records during one execution.
 
-    def __init__(self) -> None:
+    ``clock_fn`` optionally stamps each event with the simulated clock
+    (the event engine's milliseconds, the service's resolution counter
+    — never wall time), putting the Figure 5 walkthrough on the same
+    time axis as the observability layer's spans.  Without a clock the
+    trace is purely ordinal, exactly as before: events carry ``at=-1``
+    and render without a time column, so stamping is strictly additive.
+    """
+
+    def __init__(self, clock_fn: Optional[Callable[[], float]] = None) -> None:
         self.events: List[TraceEvent] = []
+        self.clock_fn = clock_fn
 
     # -- recording (called by the assembly operator) -------------------------
 
@@ -93,9 +106,11 @@ class AssemblyTracer:
         """Append one event (kind must be a known constant)."""
         if kind not in KINDS:
             raise ValueError(f"unknown trace event kind {kind!r}")
+        at = -1.0 if self.clock_fn is None else float(self.clock_fn())
         self.events.append(
             TraceEvent(
-                kind=kind, owner=owner, oid=oid, label=label, page_id=page_id
+                kind=kind, owner=owner, oid=oid, label=label, page_id=page_id,
+                at=at,
             )
         )
 

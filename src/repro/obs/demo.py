@@ -1,0 +1,84 @@
+"""A small, fully instrumented service run producing a sample trace.
+
+One function builds a deterministic multi-client
+:class:`~repro.service.server.AssemblyService` workload with every
+observability hook attached — request/assembly/window-slot spans from
+the service, device-I/O samples from a
+:class:`~repro.obs.devices.DeviceIOTimeline` tap — and returns the
+recorder.  ``python -m repro.obs render`` uses it to produce a valid
+Chrome trace from a real service run with zero setup; the CI trace
+artifact and the exporter tests drive the same function.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cluster.layout import layout_database
+from repro.cluster.policies import InterObjectClustering
+from repro.obs.devices import DeviceIOTimeline
+from repro.obs.spans import SpanRecorder
+from repro.service.server import AssemblyService
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import SimulatedDisk
+from repro.storage.store import ObjectStore
+from repro.workloads.acob import generate_acob, make_template
+
+
+def demo_service_run(
+    n_objects: int = 60,
+    n_clients: int = 3,
+    requests_per_client: int = 2,
+    roots_per_request: int = 5,
+    window: int = 4,
+    sample_rate: float = 1.0,
+    seed: int = 7,
+    recorder: Optional[SpanRecorder] = None,
+) -> Tuple[SpanRecorder, AssemblyService]:
+    """Run the instrumented demo workload; returns (recorder, service).
+
+    Deterministic end to end: the database, layout, request schedule
+    and service execution are all seeded, and every span is stamped on
+    the service's resolution clock — two calls with the same arguments
+    produce structurally identical traces.
+    """
+    database = generate_acob(n_objects, seed=seed)
+    disk = SimulatedDisk()
+    store = ObjectStore(disk, BufferManager(disk))
+    layout = layout_database(
+        database.complex_objects,
+        store,
+        InterObjectClustering(
+            cluster_pages=64, disk_order=database.type_ids_depth_first()
+        ),
+        shared=database.shared_pool,
+    )
+    if recorder is None:
+        recorder = SpanRecorder(sample_rate=sample_rate)
+    service = AssemblyService(store, span_recorder=recorder)
+    timeline = DeviceIOTimeline(
+        disk,
+        clock_fn=lambda: float(service.clock),
+        spans=recorder,
+    ).attach()
+    try:
+        template = make_template(database)
+        roots = list(layout.root_order)
+        cursor = 0
+        request_ids = []
+        for _request in range(requests_per_client):
+            for _client in range(n_clients):
+                batch = [
+                    roots[(cursor + i) % len(roots)]
+                    for i in range(roots_per_request)
+                ]
+                cursor += roots_per_request
+                request_ids.append(
+                    service.submit(batch, template, window_size=window)
+                )
+        service.run()
+        for request_id in request_ids:
+            service.result(request_id)
+    finally:
+        timeline.detach()
+    return recorder, service

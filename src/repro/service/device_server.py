@@ -286,6 +286,13 @@ class DeviceServer:
         step serve everything pending on the sweep-next page(s) —
         possibly across queries — behind one coalesced, prefetched
         read, with buffer-resident pages served first at zero seek.
+    spans:
+        Optional :class:`~repro.obs.spans.SpanRecorder` shared with
+        every registered query's operator (unless the caller passes its
+        own ``spans=`` to :meth:`register`).  Synchronous sweeps record
+        ``scheduler-pop`` spans; :meth:`run_overlapped` hands the
+        recorder to its :class:`AsyncIOEngine`, whose ``device-io``
+        spans carry exact event-clock stamps.  Strictly observational.
     """
 
     def __init__(
@@ -293,6 +300,7 @@ class DeviceServer:
         store: ObjectStore,
         starvation_bound: Optional[int] = DEFAULT_STARVATION_BOUND,
         batch_pages: int = 1,
+        spans=None,
     ) -> None:
         if starvation_bound is not None and starvation_bound <= 0:
             raise ServiceStateError("starvation_bound must be positive")
@@ -301,6 +309,7 @@ class DeviceServer:
         self.store = store
         self.starvation_bound = starvation_bound
         self.batch_pages = batch_pages
+        self.spans = spans
         disk = store.disk
         if isinstance(disk, MultiDeviceDisk):
             self._queues = [
@@ -360,6 +369,8 @@ class DeviceServer:
         )
         proxy = _ProxyScheduler(self, query_id)
         assembly_kwargs.setdefault("health", self.health)
+        if self.spans is not None:
+            assembly_kwargs.setdefault("spans", self.spans)
         assembly = Assembly(
             source,
             self.store,
@@ -548,6 +559,15 @@ class DeviceServer:
         else:
             batch = [self._pop_next()]
             prefetched = []
+        pop_span = None
+        if self.spans is not None and batch:
+            pop_span = self.spans.begin(
+                "scheduler-pop",
+                kind="scheduler-pop",
+                device=self._device_of(batch[0][1].page_id),
+                refs=len(batch),
+                prefetched=len(prefetched),
+            )
         try:
             for query_id, ref in batch:
                 self._pending[query_id] -= 1
@@ -565,6 +585,8 @@ class DeviceServer:
         finally:
             for page_id in prefetched:
                 self.store.buffer.unfix(page_id)
+            if pop_span is not None:
+                self.spans.end(pop_span)
         return True
 
     def _release_stuck(self) -> bool:
@@ -631,7 +653,7 @@ class DeviceServer:
         """
         if issue_depth <= 0:
             raise ServiceStateError("issue_depth must be positive")
-        engine = AsyncIOEngine(self.store.disk, cost_model)
+        engine = AsyncIOEngine(self.store.disk, cost_model, spans=self.spans)
         resolved_before = self.resolutions
         quarantines_before = self.health.total_quarantines()
         report = OverlapReport()

@@ -10,6 +10,13 @@ on the simulated disk, unlike wall time.
 
 Global counters aggregate what no single request can see: disk seek
 totals, buffer faults, cache traffic, and admission outcomes.
+
+Latency, queue-wait and run-time distributions stream through
+:class:`~repro.obs.histograms.StreamingHistogram` fields that are fed
+on *every* request completion from the deterministic service clock —
+independent of whether a span recorder is attached — so
+:meth:`ServiceMetrics.snapshot` is bit-identical with observability
+off, on, or sampled (the ``tests/obs`` non-interference property).
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.core import trace
 from repro.core.trace import AssemblyTracer
+from repro.obs.histograms import StreamingHistogram
 
 
 @dataclass
@@ -61,6 +69,17 @@ class RequestMetrics:
             return None
         return self.completed_at - self.submitted_at
 
+    @property
+    def run_time(self) -> Optional[int]:
+        """Ticks actually assembling: start-to-done (None while open).
+
+        ``latency == queue_wait + run_time`` — the per-phase breakdown
+        of where a request's service-clock time went.
+        """
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
     def absorb_trace(self, tracer: AssemblyTracer) -> None:
         """Fold a finished request's trace into the counters."""
         counts = tracer.counts()
@@ -75,6 +94,7 @@ class RequestMetrics:
             "request_id": self.request_id,
             "queue_wait": self.queue_wait,
             "latency": self.latency,
+            "run_time": self.run_time,
             "window": self.window_size,
             "shrunk": self.shrunk,
             "cache_hits": self.cache_hits,
@@ -111,6 +131,19 @@ class ServiceMetrics:
     elapsed_ms: Optional[float] = None
     #: per-device busy fraction of that run (empty until overlapped).
     device_utilization: List[float] = field(default_factory=list)
+    #: streaming latency distribution (service-clock ticks), fed on
+    #: every completion — observability-independent by construction.
+    latency_hist: StreamingHistogram = field(
+        default_factory=StreamingHistogram
+    )
+    #: streaming queue-wait distribution (ticks before admission).
+    queue_wait_hist: StreamingHistogram = field(
+        default_factory=StreamingHistogram
+    )
+    #: streaming run-time distribution (ticks actually assembling).
+    run_time_hist: StreamingHistogram = field(
+        default_factory=StreamingHistogram
+    )
     per_request: Dict[int, RequestMetrics] = field(default_factory=dict)
 
     def open_request(
@@ -123,6 +156,22 @@ class ServiceMetrics:
         self.per_request[request_id] = metrics
         self.requests_submitted += 1
         return metrics
+
+    def close_request(self, metrics: RequestMetrics) -> None:
+        """Fold one completed request into the streaming histograms.
+
+        Called by the service when a request finishes, with clock
+        stamps already set.  The histograms see every completion in
+        completion order, on the deterministic service clock, so two
+        identical executions produce bit-equal histograms whether or
+        not any observability is attached.
+        """
+        if metrics.latency is not None:
+            self.latency_hist.record(float(metrics.latency))
+        if metrics.queue_wait is not None:
+            self.queue_wait_hist.record(float(metrics.queue_wait))
+        if metrics.run_time is not None:
+            self.run_time_hist.record(float(metrics.run_time))
 
     def record_overlap(self, report) -> None:
         """Fold an :class:`~repro.service.device_server.OverlapReport`
@@ -172,6 +221,12 @@ class ServiceMetrics:
             "cache_misses": self.cache_misses,
             "p50_latency": self.percentile_latency(0.50),
             "p95_latency": self.percentile_latency(0.95),
+            "p90_latency": self.latency_hist.p90,
+            "p99_latency": self.latency_hist.p99,
+            "max_latency": self.latency_hist.max,
+            "latency_hist": self.latency_hist.snapshot(),
+            "queue_wait_hist": self.queue_wait_hist.snapshot(),
+            "run_time_hist": self.run_time_hist.snapshot(),
             "elapsed_ms": self.elapsed_ms,
             "device_utilization": list(self.device_utilization),
         }

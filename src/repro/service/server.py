@@ -25,6 +25,7 @@ from repro.core.assembled import AssembledComplexObject
 from repro.core.template import Template
 from repro.core.trace import AssemblyTracer
 from repro.errors import ServiceOverloadError, ServiceStateError
+from repro.obs.spans import Span, SpanRecorder
 from repro.service.admission import AdmissionController, AdmissionTicket
 from repro.service.cache import AssembledObjectCache
 from repro.service.device_server import ClientQuery, DeviceServer
@@ -63,6 +64,8 @@ class _Request:
         self.tracer: Optional[AssemblyTracer] = None
         self.assembly_kwargs: Dict[str, object] = {}
         self.cache_results: bool = True
+        self.span: Optional[Span] = None
+        self.wait_span: Optional[Span] = None
 
 
 class AssemblyService:
@@ -81,6 +84,14 @@ class AssemblyService:
         Device-server fairness bound (see :class:`DeviceServer`).
     max_waiting / min_window:
         Admission wait-queue capacity and smallest shrunk window.
+    span_recorder:
+        Optional :class:`~repro.obs.spans.SpanRecorder` tracing every
+        request's life (``request`` → ``queue-wait`` → ``assembly`` →
+        per-slot/fetch spans) on the service clock.  The recorder is
+        bound to the device server's resolution counter and shared with
+        every query's operator; recording is strictly observational —
+        results and :class:`ServiceMetrics` are bit-identical with or
+        without it.  Export the trace with :meth:`export_trace`.
     """
 
     def __init__(
@@ -91,11 +102,17 @@ class AssemblyService:
         starvation_bound: Optional[int] = 64,
         max_waiting: int = 16,
         min_window: int = 1,
+        span_recorder: Optional[SpanRecorder] = None,
     ) -> None:
         self.store = store
         if budget_pages is None:
             budget_pages = store.buffer.capacity
-        self.server = DeviceServer(store, starvation_bound=starvation_bound)
+        self.spans = span_recorder
+        self.server = DeviceServer(
+            store, starvation_bound=starvation_bound, spans=span_recorder
+        )
+        if span_recorder is not None:
+            span_recorder.bind_clock(lambda: float(self.server.resolutions))
         self.admission = AdmissionController(
             budget_pages=budget_pages,
             max_waiting=max_waiting,
@@ -144,6 +161,10 @@ class AssemblyService:
         request.assembly_kwargs = dict(assembly_kwargs)
         request.cache_results = use_cache and self.cache is not None
         self._requests[request_id] = request
+        if self.spans is not None:
+            request.span = self.spans.begin(
+                "request", kind="request", request_id=request_id
+            )
 
         for root in roots:
             cached = None
@@ -174,10 +195,17 @@ class AssemblyService:
             del self.metrics.per_request[request_id]
             self.metrics.requests_submitted -= 1
             self.metrics.requests_rejected += 1
+            if self.spans is not None and request.span is not None:
+                self.spans.end(request.span, outcome="rejected")
+                request.span = None
             raise
         request.ticket = ticket
         if ticket.waiting:
             self.metrics.requests_queued += 1
+            if self.spans is not None:
+                request.wait_span = self.spans.begin(
+                    "queue-wait", parent=request.span, kind="queue-wait"
+                )
             return request_id
         self._start(request)
         return request_id
@@ -185,6 +213,11 @@ class AssemblyService:
     def _start(self, request: _Request) -> None:
         assert request.ticket is not None and not request.ticket.waiting
         request.tracer = AssemblyTracer()
+        if self.spans is not None:
+            if request.wait_span is not None:
+                self.spans.end(request.wait_span)
+                request.wait_span = None
+            request.assembly_kwargs.setdefault("parent_span", request.span)
         request.query = self.server.register(
             request.pending_roots,
             request.template,
@@ -263,6 +296,15 @@ class AssemblyService:
         request.status = RequestStatus.DONE
         request.metrics.completed_at = self.clock
         self.metrics.requests_completed += 1
+        self.metrics.close_request(request.metrics)
+        if self.spans is not None and request.span is not None:
+            self.spans.end(
+                request.span,
+                outcome="done",
+                emitted=request.metrics.emitted,
+                cache_hits=request.metrics.cache_hits,
+            )
+            request.span = None
         if request.ticket is not None:
             for started in self.admission.release(request.ticket):
                 self._start(self._requests[started.request_id])
@@ -292,6 +334,29 @@ class AssemblyService:
     def request_metrics(self, request_id: int) -> RequestMetrics:
         """Per-request metrics (final once the request is done)."""
         return self._request(request_id).metrics
+
+    def export_trace(self, path: str, fmt: str = "chrome") -> str:
+        """Write the recorded span trace to ``path``; returns the path.
+
+        ``fmt`` is ``"chrome"`` (a Chrome ``trace_event`` JSON document
+        for ``chrome://tracing`` / Perfetto) or ``"jsonl"`` (the flat
+        span log ``python -m repro.obs`` renders, summarizes and
+        diffs).  Raises :class:`~repro.errors.ServiceStateError` when
+        the service was built without a ``span_recorder``.
+        """
+        if self.spans is None:
+            raise ServiceStateError(
+                "export_trace() needs a service built with span_recorder="
+            )
+        from repro.obs.export import write_chrome_trace, write_jsonl
+
+        if fmt == "chrome":
+            return str(write_chrome_trace(self.spans.spans, path))
+        if fmt == "jsonl":
+            return str(write_jsonl(self.spans.spans, path))
+        raise ServiceStateError(
+            f"unknown trace format {fmt!r} (want 'chrome' or 'jsonl')"
+        )
 
     def _request(self, request_id: int) -> _Request:
         try:

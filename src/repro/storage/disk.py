@@ -25,6 +25,11 @@ from repro.storage.page import PAGE_SIZE, Page
 #: once per physical read operation (a multi-page run is one call).
 IoListener = Callable[[int, int], None]
 
+#: Additive observer of physical reads: called with ``(start_page,
+#: seek_distance, n_pages)`` once per physical read operation.  Unlike
+#: the exclusive :data:`IoListener` slot, any number can be attached.
+IoObserver = Callable[[int, int, int], None]
+
 
 @dataclass
 class DiskStats:
@@ -166,6 +171,7 @@ class SimulatedDisk:
         self._head = 0
         self.stats = DiskStats()
         self._io_listener: Optional[IoListener] = None
+        self._io_observers: List[IoObserver] = []
         #: optional :class:`repro.storage.faults.FaultInjector`; its
         #: ``before_read`` gate runs ahead of any head movement or
         #: accounting, so a failed attempt leaves the disk untouched.
@@ -248,6 +254,31 @@ class SimulatedDisk:
         self._io_listener = listener
         return previous
 
+    def add_io_observer(self, observer: IoObserver) -> IoObserver:
+        """Attach an additive read observer; returns it for removal.
+
+        Observers are called ``(start_page, seek_distance, n_pages)``
+        after the exclusive listener, once per physical read.  They are
+        the observability layer's tap (:mod:`repro.obs.devices`): any
+        number can attach, and attaching one changes no accounting,
+        head movement, or listener behaviour anywhere — observers only
+        *watch* reads the caller already decided to perform.
+        """
+        self._io_observers.append(observer)
+        return observer
+
+    def remove_io_observer(self, observer: IoObserver) -> None:
+        """Detach one observer added by :meth:`add_io_observer`."""
+        if observer in self._io_observers:
+            self._io_observers.remove(observer)
+
+    def _notify_read(self, start: int, distance: int, n_pages: int) -> None:
+        """Fan a physical read out to the listener and all observers."""
+        if self._io_listener is not None:
+            self._io_listener(distance, n_pages)
+        for observer in self._io_observers:
+            observer(start, distance, n_pages)
+
     def read(self, page_id: int) -> Page:
         """Read a page, moving the head and charging the seek.
 
@@ -264,8 +295,7 @@ class SimulatedDisk:
         self.stats.pages_read += 1
         self.stats.read_seek_total += distance
         self.stats.read_seeks.append(distance)
-        if self._io_listener is not None:
-            self._io_listener(distance, 1)
+        self._notify_read(page_id, distance, 1)
         return self._page_image(page_id)
 
     def read_run(self, start: int, n_pages: int) -> List[Page]:
@@ -293,8 +323,7 @@ class SimulatedDisk:
         self.stats.pages_read += n_pages
         self.stats.read_seek_total += distance
         self.stats.read_seeks.append(distance)
-        if self._io_listener is not None:
-            self._io_listener(distance, n_pages)
+        self._notify_read(start, distance, n_pages)
         return [self._page_image(start + i) for i in range(n_pages)]
 
     def read_batch(self, page_ids: Sequence[int]) -> List[Page]:

@@ -103,15 +103,23 @@ class AsyncIOEngine:
         Pricing for physical reads (default: the A-9 period model).
         Pass a :class:`CostedDisk`'s own model to keep the engine's
         clock and the disk's synchronous accumulator in agreement.
+    spans:
+        Optional :class:`~repro.obs.spans.SpanRecorder`.  Each request
+        that touched a device is recorded as a completed ``device-io``
+        span with its exact issue/start/complete stamps — purely
+        observational: the engine's scheduling, pricing and clock are
+        byte-for-byte identical with or without a recorder attached.
     """
 
     def __init__(
         self,
         disk: SimulatedDisk,
         cost_model: Optional[CostModel] = None,
+        spans: Optional[Any] = None,
     ) -> None:
         self.disk = disk
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.spans = spans
         self.clock = EventClock()
         if isinstance(disk, MultiDeviceDisk):
             self.n_devices = disk.n_devices
@@ -235,6 +243,18 @@ class AsyncIOEngine:
         heapq.heappush(self._completions, (complete, handle, io))
         self._in_flight[device] += 1
         self.issues += 1
+        if self.spans is not None and (reads or injected):
+            self.spans.add(
+                "device-io",
+                start=start,
+                end=complete,
+                kind="device-io",
+                device=device,
+                handle=handle,
+                issue_time=issue_time,
+                physical_reads=io.physical_reads,
+                pages=io.pages_read,
+            )
         return io
 
     def wait_next(self) -> InFlightIO:

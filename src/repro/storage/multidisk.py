@@ -113,6 +113,10 @@ class MultiDeviceDisk(SimulatedDisk):
         A run that crosses devices becomes one physical read per
         device: each chunk charges a seek against its own device's
         head, exactly as if the chunks had been requested separately.
+        I/O observers (:meth:`~repro.storage.disk.SimulatedDisk.
+        add_io_observer`) fire once per chunk with that chunk's start
+        page, so a multi-device observer can attribute every sample to
+        its owning device via :meth:`device_of`.
         """
         if n_pages <= 0:
             raise DiskError("read_run needs at least one page")

@@ -9,8 +9,15 @@ accounting oracles) hold.
 import pytest
 
 from repro.bench.figures import (
+    ablation_adaptive_scheduler,
+    ablation_buffer_capacity,
+    ablation_cost_model,
+    ablation_hypermodel_generality,
+    ablation_multi_device,
+    ablation_parallel_contention,
     ablation_scheduler_overhead,
     ablation_sharing_degree,
+    ablation_window_tuning,
     buffer_pin_bound,
     depth_first_window_invariance,
     figure_11,
@@ -98,3 +105,59 @@ class TestAblations:
     def test_sharing_degree(self):
         figure = ablation_sharing_degree(degrees=(0.1, 0.25), db_size=100)
         assert not figure.violations
+
+    def test_buffer_capacity(self):
+        # Capacities must clear window 50's pin bound (6*49 + 7 = 301).
+        figure = ablation_buffer_capacity(
+            capacities=(None, 512, 320), db_size=150
+        )
+        assert set(figure.series) == {"total reads", "re-reads"}
+        assert not figure.violations
+        re_reads = dict(figure.series["re-reads"])
+        assert re_reads[0] == 0  # unbounded buffer never re-reads
+        assert re_reads[320] >= re_reads[512]
+
+    def test_adaptive_scheduler(self):
+        figure = ablation_adaptive_scheduler(
+            db_size=150, selectivities=(0.1, 0.5)
+        )
+        assert set(figure.series) == {"elevator", "adaptive"}
+        assert not figure.violations
+
+    def test_parallel_contention(self):
+        figure = ablation_parallel_contention(
+            db_size=150, partition_counts=(1, 4), window=16
+        )
+        assert set(figure.series) == {"independent queues", "device server"}
+        assert figure.xs() == [1, 4]
+        assert not figure.violations
+
+    def test_window_tuning(self):
+        figure = ablation_window_tuning(buffer_capacity=64, db_size=150)
+        assert not figure.violations
+        # Ceiling for 64 frames is window 10, so probes stop at 10.
+        assert max(figure.xs()) <= 10
+        assert figure.notes
+
+    def test_multi_device(self):
+        figure = ablation_multi_device(
+            device_counts=(1, 2, 4), db_size=120, window_per_device=8
+        )
+        assert set(figure.series) == {
+            "critical path (max device)", "aggregate (sum devices)",
+        }
+        assert not figure.violations
+
+    def test_hypermodel_generality(self):
+        figure = ablation_hypermodel_generality(
+            n_documents=60, windows=(1, 10, 25)
+        )
+        assert set(figure.series) == {"depth-first", "elevator"}
+        # The sharing-accounting oracle is exact at any scale.
+        assert not figure.violations
+
+    def test_cost_model(self):
+        figure = ablation_cost_model(db_size=150, windows=(1, 16))
+        assert set(figure.series) == {"depth-first", "elevator"}
+        assert not figure.violations
+        assert figure.notes  # the seek-vs-service-time ratio note

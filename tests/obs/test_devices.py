@@ -1,0 +1,137 @@
+"""Tests for the disk observer tap and per-device I/O timelines."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.devices import DeviceIOTimeline, IOSample
+from repro.obs.spans import SpanRecorder
+from repro.storage.disk import SimulatedDisk
+from repro.storage.multidisk import MultiDeviceDisk
+
+
+class TestIoObserverTap:
+    def test_observer_sees_start_distance_pages(self):
+        disk = SimulatedDisk()
+        seen = []
+        disk.add_io_observer(lambda s, d, n: seen.append((s, d, n)))
+        disk.read(5)
+        disk.read_run(10, 3)
+        assert seen == [(5, 5, 1), (10, 10 - 5, 3)]
+
+    def test_observers_are_additive_and_removable(self):
+        disk = SimulatedDisk()
+        first, second = [], []
+        keep = disk.add_io_observer(lambda s, d, n: first.append(s))
+        drop = disk.add_io_observer(lambda s, d, n: second.append(s))
+        disk.read(1)
+        disk.remove_io_observer(drop)
+        disk.read(2)
+        assert first == [1, 2] and second == [1]
+
+    def test_observer_coexists_with_exclusive_listener(self):
+        disk = SimulatedDisk()
+        listened, observed = [], []
+        disk.set_io_listener(lambda d, n: listened.append((d, n)))
+        disk.add_io_observer(lambda s, d, n: observed.append((s, d, n)))
+        disk.read(4)
+        assert listened == [(4, 1)]
+        assert observed == [(4, 4, 1)]
+
+    def test_observing_changes_no_accounting(self):
+        bare, tapped = SimulatedDisk(), SimulatedDisk()
+        tapped.add_io_observer(lambda s, d, n: None)
+        for disk in (bare, tapped):
+            disk.read(7)
+            disk.read_run(20, 4)
+            disk.read(3)
+        assert tapped.stats == bare.stats
+
+
+class TestDeviceIOTimeline:
+    def test_samples_single_device(self):
+        disk = SimulatedDisk()
+        with DeviceIOTimeline(disk) as timeline:
+            disk.read(5)
+            disk.read(9)
+        disk.read(100)  # after detach: not sampled
+        assert len(timeline) == 2
+        assert timeline.devices() == [0]
+        assert timeline.samples[0] == IOSample(
+            at=0.0, device=0, start_page=5, distance=5, pages=1
+        )
+
+    def test_multidevice_attribution_per_chunk(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=8)
+        timeline = DeviceIOTimeline(disk).attach()
+        # A run crossing the device boundary splits into per-device
+        # chunks; the observer sees each chunk's own start page.
+        disk.read_run(6, 4)
+        assert [s.device for s in timeline.samples] == [0, 1]
+        assert [s.start_page for s in timeline.samples] == [6, 8]
+        assert [s.pages for s in timeline.samples] == [2, 2]
+        assert timeline.devices() == [0, 1]
+
+    def test_attach_detach_idempotent(self):
+        disk = SimulatedDisk()
+        timeline = DeviceIOTimeline(disk).attach().attach()
+        disk.read(1)
+        assert len(timeline) == 1  # one tap, not two
+        timeline.detach()
+        timeline.detach()
+
+    def test_clock_stamps_and_seek_timeline(self):
+        disk = SimulatedDisk()
+        clock = iter([10.0, 20.0])
+        timeline = DeviceIOTimeline(disk, clock_fn=lambda: next(clock))
+        timeline.attach()
+        disk.read(3)
+        disk.read(30)
+        assert timeline.seek_timeline(0) == [(10.0, 3), (20.0, 27)]
+        assert timeline.seek_timeline(1) == []
+
+    def test_busy_and_utilization(self):
+        disk = SimulatedDisk()
+        clock = iter([0.0, 100.0])
+        timeline = DeviceIOTimeline(disk, clock_fn=lambda: next(clock))
+        timeline.attach()
+        disk.read(3)
+        disk.read(30)
+        busy = timeline.busy_ms()
+        assert busy > 0.0
+        assert timeline.utilization() == {0: busy / 100.0}
+        with pytest.raises(ReproError):
+            timeline.utilization(span_ms=-1.0)
+
+    def test_utilization_degenerate_span_uses_work_shares(self):
+        disk = MultiDeviceDisk(n_devices=2, pages_per_device=8)
+        timeline = DeviceIOTimeline(disk, clock_fn=lambda: 5.0).attach()
+        disk.read(1)
+        disk.read(9)
+        shares = timeline.utilization()
+        assert shares[0] > 0.0 and shares[1] > 0.0
+        assert shares[0] + shares[1] == pytest.approx(1.0)
+
+    def test_summary_rollup(self):
+        disk = SimulatedDisk()
+        timeline = DeviceIOTimeline(disk).attach()
+        disk.read(5)
+        disk.read_run(10, 3)
+        summary = timeline.summary()
+        assert set(summary) == {0}
+        entry = summary[0]
+        assert entry["reads"] == 2 and entry["pages"] == 4
+        assert entry["seek_total"] == 5 + 5
+        assert entry["avg_seek"] == pytest.approx(10 / 4)
+        assert entry["busy_ms"] == timeline.busy_ms(0)
+
+    def test_spans_tap_records_sample_spans(self):
+        disk = SimulatedDisk()
+        recorder = SpanRecorder(clock_fn=lambda: 1.0)
+        timeline = DeviceIOTimeline(
+            disk, clock_fn=lambda: 1.0, spans=recorder
+        ).attach()
+        disk.read(5)
+        assert len(timeline) == 1
+        (span,) = recorder.of_kind("device-io")
+        assert span.name == "device-io-sample"
+        assert span.attrs == {"page": 5, "seek": 5, "pages": 1}
