@@ -15,7 +15,7 @@ import sys
 import time
 from typing import Dict, List
 
-from repro.bench.figures import ALL_FIGURES
+from repro.bench.figures import ALL_FIGURES, DESCRIPTIONS
 from repro.bench.report import FigureResult, render
 
 
@@ -63,8 +63,10 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
+        width = max(len(name) for name in ALL_FIGURES)
         for name in ALL_FIGURES:
-            print(name)
+            description = DESCRIPTIONS.get(name, "")
+            print(f"{name:<{width}}  {description}".rstrip())
         return 0
 
     # --trace-out alone traces one run without sweeping every figure.

@@ -993,8 +993,42 @@ def _register_robustness() -> None:
     ALL_FIGURES["robustness"] = figure_robustness
 
 
+def _register_fabric() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    from repro.bench.fabric import figure_fabric
+
+    ALL_FIGURES["fabric"] = figure_fabric
+
+
 _register_baselines()
 _register_service()
 _register_batch()
 _register_elapsed()
 _register_robustness()
+_register_fabric()
+
+#: One-line summaries for ``python -m repro.bench --list``.
+DESCRIPTIONS = {
+    "fig11": "scheduler vs database size at window 1 (Fig. 11A-C)",
+    "fig13": "scheduler vs database size at window 100 (Fig. 13A-C)",
+    "fig14": "seek distance vs window size (Fig. 14)",
+    "fig15": "clustering policies head to head (Fig. 15)",
+    "fig16": "assembly vs pointer-chasing baseline (Fig. 16)",
+    "buffer-bound": "Section 6.3.3 pin bound: measured vs formula",
+    "df-invariance": "depth-first is window-invariant (Section 6.3)",
+    "ablation-scheduler": "scheduler choice ablation",
+    "ablation-buffer": "buffer capacity ablation",
+    "ablation-sharing": "shared-component degree ablation",
+    "ablation-adaptive": "adaptive scheduler ablation",
+    "ablation-parallel": "parallel assembly contention ablation",
+    "ablation-tuning": "window auto-tuning ablation",
+    "ablation-multidevice": "multi-device declustering ablation",
+    "ablation-hypermodel": "hypermodel generality ablation",
+    "ablation-costmodel": "cost model calibration ablation",
+    "baseline-tidscan": "TID-scan baseline comparison",
+    "service": "device-server service figures S-1..S-4",
+    "batch": "batched scheduler figures B-1..B-3",
+    "elapsed": "event-driven elapsed-time figures E-1..E-3",
+    "robustness": "fault-injection robustness figures R-1..R-2",
+    "fabric": "sharded fabric figures F-1..F-3 (load, hedging, shedding)",
+}

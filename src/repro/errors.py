@@ -201,3 +201,12 @@ class ServiceOverloadError(ServiceError):
 
 class ServiceStateError(ServiceError):
     """A service request was driven outside its lifecycle."""
+
+
+# ---------------------------------------------------------------------------
+# Service fabric
+# ---------------------------------------------------------------------------
+
+
+class FabricError(ServiceError):
+    """The sharded service fabric was misconfigured or misdriven."""

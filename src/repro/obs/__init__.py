@@ -31,12 +31,14 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.histograms import StreamingHistogram
+from repro.obs.slo import SLOTracker
 from repro.obs.spans import NULL_SPAN, Span, SpanRecorder
 
 __all__ = [
     "DeviceIOTimeline",
     "IOSample",
     "NULL_SPAN",
+    "SLOTracker",
     "Span",
     "SpanRecorder",
     "StreamingHistogram",

@@ -109,6 +109,7 @@ class AdmissionController:
         self.shrunk = 0
         self.queued = 0
         self.rejected = 0
+        self.cancelled = 0
 
     # -- introspection --------------------------------------------------------
 
@@ -212,6 +213,32 @@ class AdmissionController:
         self._lanes[lane].append((ticket, template))
         self.queued += 1
         return ticket
+
+    def cancel_waiting(self, ticket: AdmissionTicket) -> None:
+        """Remove a still-waiting ticket from its lane.
+
+        Cancelling a waiting request frees no budget (none was
+        granted), so nothing can start as a consequence — unlike
+        :meth:`release`.  Raises :class:`ServiceStateError` if the
+        ticket is not actually parked in a lane (already admitted
+        tickets must go through :meth:`release` instead).
+        """
+        if not ticket.waiting:
+            raise ServiceStateError(
+                f"request {ticket.request_id} is not waiting; "
+                "release() its granted budget instead"
+            )
+        queue = self._lanes[ticket.lane]
+        for index, (waiting, _template) in enumerate(queue):
+            if waiting is ticket:
+                del queue[index]
+                ticket.waiting = False
+                self.cancelled += 1
+                return
+        raise ServiceStateError(
+            f"request {ticket.request_id} not found in the "
+            f"{ticket.lane} lane"
+        )
 
     def release(self, ticket: AdmissionTicket) -> List[AdmissionTicket]:
         """Return a finished request's budget; admit waiting requests.

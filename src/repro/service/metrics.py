@@ -22,7 +22,7 @@ off, on, or sampled (the ``tests/obs`` non-interference property).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core import trace
 from repro.core.trace import AssemblyTracer
@@ -116,6 +116,18 @@ class ServiceMetrics:
     requests_rejected: int = 0
     requests_shrunk: int = 0
     requests_queued: int = 0
+    #: requests cancelled before completion (hedge losers, client aborts).
+    requests_cancelled: int = 0
+    #: requests dropped by a fabric load-shedding policy (SLO breach),
+    #: as opposed to ``requests_rejected`` (admission wait queue full).
+    requests_shed: int = 0
+    #: hedge duplicates issued on this service's behalf.
+    hedge_fired: int = 0
+    #: hedged requests where the duplicate finished first.
+    hedge_won: int = 0
+    #: total service-clock ticks completed requests spent waiting for
+    #: admission (the scalar sum behind ``queue_wait_hist``).
+    queue_wait_ticks: int = 0
     objects_emitted: int = 0
     objects_aborted: int = 0
     #: complex objects emitted with faulted subtrees dropped.
@@ -170,6 +182,7 @@ class ServiceMetrics:
             self.latency_hist.record(float(metrics.latency))
         if metrics.queue_wait is not None:
             self.queue_wait_hist.record(float(metrics.queue_wait))
+            self.queue_wait_ticks += metrics.queue_wait
         if metrics.run_time is not None:
             self.run_time_hist.record(float(metrics.run_time))
 
@@ -179,6 +192,66 @@ class ServiceMetrics:
         self.elapsed_ms = report.elapsed_ms
         self.device_utilization = list(report.device_utilization)
         self.fault_retries += getattr(report, "fault_retries", 0)
+
+    #: counter fields merge() sums; everything else needs special care.
+    _SUMMED_FIELDS = (
+        "requests_submitted",
+        "requests_completed",
+        "requests_rejected",
+        "requests_shrunk",
+        "requests_queued",
+        "requests_cancelled",
+        "requests_shed",
+        "hedge_fired",
+        "hedge_won",
+        "queue_wait_ticks",
+        "objects_emitted",
+        "objects_aborted",
+        "objects_degraded",
+        "fault_retries",
+        "fault_aborts",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def merge(self, other: "ServiceMetrics") -> "ServiceMetrics":
+        """Fold another service's metrics into this one; returns self.
+
+        This is the fabric's fleet roll-up: counters add, the streaming
+        histograms merge bucket-wise (so fleet p90/p99 come from the
+        combined distribution, **not** from averaging per-shard
+        percentiles), ``elapsed_ms`` takes the max (the fleet is as
+        slow as its slowest shard) and device utilizations concatenate.
+        Per-request entries are appended under fresh keys — request ids
+        are only unique within one service.
+        """
+        for name in self._SUMMED_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.latency_hist.merge(other.latency_hist)
+        self.queue_wait_hist.merge(other.queue_wait_hist)
+        self.run_time_hist.merge(other.run_time_hist)
+        if other.elapsed_ms is not None:
+            self.elapsed_ms = (
+                other.elapsed_ms
+                if self.elapsed_ms is None
+                else max(self.elapsed_ms, other.elapsed_ms)
+            )
+        self.device_utilization.extend(other.device_utilization)
+        next_key = max(self.per_request, default=-1) + 1
+        for offset, metrics in enumerate(other.per_request.values()):
+            self.per_request[next_key + offset] = metrics
+        return self
+
+    @classmethod
+    def merged(
+        cls, parts: "Iterable[ServiceMetrics]"
+    ) -> "ServiceMetrics":
+        """A fresh fleet aggregate of ``parts`` (the parts are not
+        mutated; histograms are merged into new copies)."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     def finished(self) -> List[RequestMetrics]:
         """Metrics of completed requests, by completion time."""
@@ -212,6 +285,11 @@ class ServiceMetrics:
             "requests_rejected": self.requests_rejected,
             "requests_shrunk": self.requests_shrunk,
             "requests_queued": self.requests_queued,
+            "requests_cancelled": self.requests_cancelled,
+            "requests_shed": self.requests_shed,
+            "hedge_fired": self.hedge_fired,
+            "hedge_won": self.hedge_won,
+            "queue_wait_ticks": self.queue_wait_ticks,
             "objects_emitted": self.objects_emitted,
             "objects_aborted": self.objects_aborted,
             "objects_degraded": self.objects_degraded,

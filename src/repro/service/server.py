@@ -40,6 +40,7 @@ class RequestStatus(Enum):
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
+    CANCELLED = "cancelled"
 
 
 class _Request:
@@ -92,6 +93,9 @@ class AssemblyService:
         every query's operator; recording is strictly observational —
         results and :class:`ServiceMetrics` are bit-identical with or
         without it.  Export the trace with :meth:`export_trace`.
+    batch_pages:
+        Distinct pages per device-server scheduler batch (see
+        :class:`DeviceServer`); 1 keeps the paper's unbatched sweep.
     """
 
     def __init__(
@@ -103,13 +107,17 @@ class AssemblyService:
         max_waiting: int = 16,
         min_window: int = 1,
         span_recorder: Optional[SpanRecorder] = None,
+        batch_pages: int = 1,
     ) -> None:
         self.store = store
         if budget_pages is None:
             budget_pages = store.buffer.capacity
         self.spans = span_recorder
         self.server = DeviceServer(
-            store, starvation_bound=starvation_bound, spans=span_recorder
+            store,
+            starvation_bound=starvation_bound,
+            batch_pages=batch_pages,
+            spans=span_recorder,
         )
         if span_recorder is not None:
             span_recorder.bind_clock(lambda: float(self.server.resolutions))
@@ -258,7 +266,8 @@ class AssemblyService:
         stuck = [
             r.request_id
             for r in self._requests.values()
-            if r.status is not RequestStatus.DONE
+            if r.status
+            not in (RequestStatus.DONE, RequestStatus.CANCELLED)
         ]
         if stuck:
             raise ServiceStateError(
@@ -312,6 +321,43 @@ class AssemblyService:
 
     # -- client API ----------------------------------------------------------
 
+    def cancel(self, request_id: int) -> bool:
+        """Abandon an unfinished request; ``True`` if it was live.
+
+        A queued request leaves the admission wait lane; a running one
+        is deregistered from the device server (its pending references
+        retracted) and its granted budget released, which may start
+        waiting requests.  Partial results are discarded — the caller
+        asked for none.  Cancelling a finished (or already cancelled)
+        request returns ``False`` and changes nothing; this is what
+        makes hedged requests race-free: whichever copy finishes first
+        wins, and cancelling the loser is always safe.
+        """
+        request = self._request(request_id)
+        if request.status in (RequestStatus.DONE, RequestStatus.CANCELLED):
+            return False
+        if request.status is RequestStatus.RUNNING:
+            assert request.query is not None
+            self.server.deregister(request.query.query_id)
+            request.query = None
+        if request.ticket is not None:
+            if request.ticket.waiting:
+                self.admission.cancel_waiting(request.ticket)
+            else:
+                for started in self.admission.release(request.ticket):
+                    self._start(self._requests[started.request_id])
+            request.ticket = None
+        request.status = RequestStatus.CANCELLED
+        self.metrics.requests_cancelled += 1
+        if self.spans is not None:
+            if request.wait_span is not None:
+                self.spans.end(request.wait_span, outcome="cancelled")
+                request.wait_span = None
+            if request.span is not None:
+                self.spans.end(request.span, outcome="cancelled")
+                request.span = None
+        return True
+
     def poll(self, request_id: int) -> RequestStatus:
         """Current lifecycle state of one request."""
         return self._request(request_id).status
@@ -324,6 +370,10 @@ class AssemblyService:
         simply absent, as with the bare assembly operator.
         """
         request = self._request(request_id)
+        if request.status is RequestStatus.CANCELLED:
+            raise ServiceStateError(
+                f"request {request_id} was cancelled; it has no result"
+            )
         while request.status is not RequestStatus.DONE:
             if not self.step():
                 raise ServiceStateError(

@@ -64,6 +64,63 @@ class EventClock:
         self._now = when
 
 
+class EventQueue:
+    """A deterministic timer heap for simulated-time callbacks.
+
+    The service fabric schedules open-loop *arrivals* and *hedge
+    timers* on the event clock; this queue orders them.  Entries are
+    ``(when, payload)`` pairs; ties break by insertion order, so two
+    identical runs deliver identical event sequences.  :meth:`cancel`
+    marks an entry dead without disturbing the heap (lazy deletion —
+    the entry is skipped when it surfaces), which is how a hedge timer
+    is retired when its request completes before the delay expires.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._next_handle = 0
+        self._cancelled: set = set()
+
+    def __len__(self) -> int:
+        """Live (scheduled, not cancelled) entries."""
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(self, when: float, payload: Any) -> int:
+        """Enqueue ``payload`` at simulated time ``when``; its handle."""
+        if when < 0:
+            raise DiskError("cannot schedule an event before time zero")
+        handle = self._next_handle
+        self._next_handle += 1
+        heapq.heappush(self._heap, (when, handle, payload))
+        return handle
+
+    def cancel(self, handle: int) -> None:
+        """Retire one scheduled event (idempotent; unknown is an error)."""
+        if not 0 <= handle < self._next_handle:
+            raise DiskError(f"unknown event handle {handle}")
+        self._cancelled.add(handle)
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _when, handle, _payload = heapq.heappop(self._heap)
+            self._cancelled.discard(handle)
+
+    def next_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event (None when empty)."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest live ``(when, payload)``."""
+        self._drop_dead()
+        if not self._heap:
+            raise DiskError("pop() on an empty event queue")
+        when, _handle, payload = heapq.heappop(self._heap)
+        return when, payload
+
+
 @dataclass
 class InFlightIO:
     """One asynchronous I/O request, from issue to completion.

@@ -1,0 +1,138 @@
+"""Request cancellation: queued, running, done — and budget cleanup.
+
+Cancellation exists for the fabric's hedged requests (the losing copy
+is cancelled on the event clock), but the semantics are plain service
+semantics and are pinned here: a cancelled request frees whatever it
+held — its wait-queue slot or its granted admission budget — and a
+freed budget immediately starts eligible waiters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, build_layout
+from repro.errors import ServiceStateError
+from repro.service.server import AssemblyService, RequestStatus
+from repro.workloads.acob import make_template
+
+#: pin_bound(8, 7-node template) = 6*7 + 7 = 49 pages: a budget of 49
+#: admits exactly one window-8 request and parks the next.
+ONE_REQUEST_BUDGET = 49
+
+
+def build(n=20, buffer_capacity=None):
+    config = ExperimentConfig(
+        n_complex_objects=n,
+        clustering="inter-object",
+        scheduler="elevator",
+        window_size=8,
+        cluster_pages=64,
+        buffer_capacity=buffer_capacity,
+    )
+    return build_layout(config)
+
+
+class TestCancelQueued:
+    def test_cancel_frees_the_wait_slot(self):
+        db, layout = build(buffer_capacity=ONE_REQUEST_BUDGET)
+        service = AssemblyService(layout.store)
+        template = make_template(db)
+        first = service.submit(layout.root_order[:10], template)
+        second = service.submit(layout.root_order[10:], template)
+        assert service.poll(second) is RequestStatus.QUEUED
+        assert service.cancel(second) is True
+        assert service.poll(second) is RequestStatus.CANCELLED
+        assert service.admission.waiting() == 0
+        assert service.admission.cancelled == 1
+        assert service.metrics.requests_cancelled == 1
+        with pytest.raises(ServiceStateError):
+            service.result(second)
+        # The survivor is untouched.
+        assert len(service.result(first)) == 10
+        assert layout.store.buffer.pinned_pages == 0
+
+
+class TestCancelRunning:
+    def test_cancel_mid_flight_releases_everything(self):
+        db, layout = build()
+        service = AssemblyService(layout.store)
+        request = service.submit(layout.root_order, make_template(db))
+        for _ in range(5):
+            service.step()
+        granted = service.admission.granted_pages
+        assert granted > 0
+        assert service.cancel(request) is True
+        assert service.poll(request) is RequestStatus.CANCELLED
+        assert service.admission.granted_pages == 0
+        assert layout.store.buffer.pinned_pages == 0
+        assert service.step() is False  # nothing left to do
+        assert service.metrics.requests_cancelled == 1
+
+    def test_cancelling_a_grant_starts_the_waiter(self):
+        db, layout = build(buffer_capacity=ONE_REQUEST_BUDGET)
+        service = AssemblyService(layout.store)
+        template = make_template(db)
+        first = service.submit(layout.root_order[:10], template)
+        second = service.submit(layout.root_order[10:], template)
+        assert service.poll(second) is RequestStatus.QUEUED
+        assert service.cancel(first) is True
+        assert service.poll(second) is RequestStatus.RUNNING
+        assert len(service.result(second)) == 10
+        assert layout.store.buffer.pinned_pages == 0
+
+    def test_other_requests_results_are_unaffected(self):
+        db, layout = build()
+        service = AssemblyService(layout.store)
+        template = make_template(db)
+        keep = service.submit(layout.root_order[:10], template)
+        drop = service.submit(layout.root_order[10:], template)
+        for _ in range(3):
+            service.step()
+        service.cancel(drop)
+        kept = service.result(keep)
+        assert {c.root_oid for c in kept} == set(layout.root_order[:10])
+        assert service.metrics.requests_completed == 1
+        assert service.metrics.requests_cancelled == 1
+
+
+class TestTerminalStates:
+    def test_cancel_after_done_is_a_noop(self):
+        db, layout = build(n=10)
+        service = AssemblyService(layout.store)
+        request = service.submit(layout.root_order, make_template(db))
+        service.result(request)
+        assert service.cancel(request) is False
+        assert service.poll(request) is RequestStatus.DONE
+        assert service.metrics.requests_cancelled == 0
+
+    def test_double_cancel_counts_once(self):
+        db, layout = build(n=10)
+        service = AssemblyService(layout.store)
+        request = service.submit(layout.root_order, make_template(db))
+        assert service.cancel(request) is True
+        assert service.cancel(request) is False
+        assert service.metrics.requests_cancelled == 1
+
+    def test_cancel_unknown_request(self):
+        _db, layout = build(n=5)
+        service = AssemblyService(layout.store)
+        with pytest.raises(ServiceStateError):
+            service.cancel(99)
+
+    def test_run_completes_around_cancelled_requests(self):
+        db, layout = build(n=16)
+        service = AssemblyService(layout.store)
+        template = make_template(db)
+        ids = [
+            service.submit(layout.root_order[i : i + 4], template)
+            for i in range(0, 16, 4)
+        ]
+        service.cancel(ids[1])
+        service.cancel(ids[3])
+        service.run()
+        assert service.poll(ids[0]) is RequestStatus.DONE
+        assert service.poll(ids[2]) is RequestStatus.DONE
+        assert service.metrics.requests_completed == 2
+        assert service.metrics.requests_cancelled == 2
+        assert layout.store.buffer.pinned_pages == 0
