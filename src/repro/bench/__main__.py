@@ -60,6 +60,25 @@ def main(argv: List[str] = None) -> int:
         help="fraction of window-slot subtrees kept in --trace-out "
         "(deterministic; default 1.0)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the selected figures under cProfile and print the "
+        "top functions by cumulative time (results are unchanged; "
+        "wall-clock timings= are inflated by profiling overhead)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="with --profile, also write the full pstats report to FILE",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="functions shown by --profile (default 25)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -74,6 +93,13 @@ def main(argv: List[str] = None) -> int:
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         parser.error(f"unknown figures: {', '.join(unknown)}")
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     failures = 0
     collected: List[FigureResult] = []
@@ -93,6 +119,28 @@ def main(argv: List[str] = None) -> int:
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
     timings["total"] = time.time() - run_start
+
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        print(buffer.getvalue())
+        if args.profile_out:
+            from pathlib import Path
+
+            target = Path(args.profile_out)
+            if str(target.parent) and not target.parent.exists():
+                target.parent.mkdir(parents=True, exist_ok=True)
+            full = io.StringIO()
+            pstats.Stats(profiler, stream=full).sort_stats(
+                "cumulative"
+            ).print_stats()
+            target.write_text(full.getvalue())
+            print(f"wrote full profile report to {target}")
     if args.csv:
         from repro.bench.export import write_csv
 

@@ -31,10 +31,16 @@ reduced scale; defaults match the other Section 6 figures.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bench.harness import get_database
 from repro.bench.report import FigureResult, monotone_decreasing
-from repro.cluster.layout import layout_database
+from repro.cluster.layout import (
+    LayoutSnapshot,
+    layout_database,
+    restore_layout,
+    snapshot_layout,
+)
 from repro.cluster.policies import InterObjectClustering
 from repro.core.assembly import Assembly
 from repro.core.multidevice import (
@@ -49,7 +55,7 @@ from repro.storage.events import AsyncIOEngine
 from repro.storage.multidisk import MultiDeviceDisk
 from repro.storage.store import ObjectStore
 from repro.volcano.iterator import ListSource
-from repro.workloads.acob import generate_acob, make_template
+from repro.workloads.acob import make_template
 
 #: Device counts swept by E-1 (1 = the synchronous baseline geometry).
 DEVICE_COUNTS = (1, 2, 4)
@@ -57,6 +63,43 @@ DEVICE_COUNTS = (1, 2, 4)
 ISSUE_DEPTHS = (1, 2, 4)
 #: Per-reference CPU cost (ms) that E-2 overlaps with in-flight reads.
 CPU_MS_PER_REF = 0.2
+
+#: Layout snapshots keyed by ``(db_size, cluster_pages, geometry)``.
+#: Geometry is part of the key because placement goes through
+#: ``disk.allocate`` — a multi-device disk stripes extents round-robin,
+#: so the page images differ per device count.
+_LAYOUT_SNAPSHOTS: Dict[Tuple, LayoutSnapshot] = {}
+_LAYOUT_CACHE_LIMIT = 8
+
+
+def _acob_layout(
+    db, db_size: int, cluster_pages: int, geometry, store: ObjectStore
+):
+    """Lay out (or restore from snapshot) the declustered ACOB database.
+
+    ``store`` must be freshly constructed and ``geometry`` must
+    identify the disk's allocation behaviour (device count for
+    multi-device disks).  The first call per key runs the real load
+    phase and captures a snapshot; later calls restore it,
+    bit-identical, without re-running placement and encoding.
+    """
+    key = (db_size, cluster_pages, geometry)
+    snapshot = _LAYOUT_SNAPSHOTS.get(key)
+    if snapshot is not None:
+        return restore_layout(snapshot, store)
+    layout = layout_database(
+        db.complex_objects,
+        store,
+        InterObjectClustering(
+            cluster_pages=cluster_pages,
+            disk_order=db.type_ids_depth_first(),
+        ),
+        shared=db.shared_pool,
+    )
+    _LAYOUT_SNAPSHOTS[key] = snapshot_layout(layout)
+    while len(_LAYOUT_SNAPSHOTS) > _LAYOUT_CACHE_LIMIT:
+        _LAYOUT_SNAPSHOTS.pop(next(iter(_LAYOUT_SNAPSHOTS)))
+    return layout
 
 
 def _pipelined_run(
@@ -69,20 +112,14 @@ def _pipelined_run(
     cpu_ms_per_ref: float = 0.0,
 ) -> Tuple[AsyncIOEngine, PipelineStats, int]:
     """One pipelined assembly over a declustered ACOB layout."""
-    db = generate_acob(db_size, seed=2)
+    db = get_database(db_size, seed=2)
     disk = MultiDeviceDisk(
         n_devices=n_devices,
         pages_per_device=(7 * cluster_pages) // n_devices + cluster_pages + 88,
     )
     store = ObjectStore(disk, BufferManager(disk))
-    layout = layout_database(
-        db.complex_objects,
-        store,
-        InterObjectClustering(
-            cluster_pages=cluster_pages,
-            disk_order=db.type_ids_depth_first(),
-        ),
-        shared=db.shared_pool,
+    layout = _acob_layout(
+        db, db_size, cluster_pages, ("multi", n_devices), store
     )
     operator = Assembly(
         ListSource(layout.root_order),
@@ -105,18 +142,10 @@ def _pipelined_run(
 
 def _synchronous_run(db_size: int, window: int, cluster_pages: int):
     """The synchronous single-spindle reference: a costed elevator run."""
-    db = generate_acob(db_size, seed=2)
+    db = get_database(db_size, seed=2)
     disk = CostedDisk(n_pages=7 * cluster_pages + cluster_pages + 88)
     store = ObjectStore(disk, BufferManager(disk))
-    layout = layout_database(
-        db.complex_objects,
-        store,
-        InterObjectClustering(
-            cluster_pages=cluster_pages,
-            disk_order=db.type_ids_depth_first(),
-        ),
-        shared=db.shared_pool,
-    )
+    layout = _acob_layout(db, db_size, cluster_pages, "costed", store)
     operator = Assembly(
         ListSource(layout.root_order),
         store,
@@ -134,18 +163,10 @@ def _synchronous_run(db_size: int, window: int, cluster_pages: int):
 
 def _costed_pipelined_run(db_size: int, window: int, cluster_pages: int):
     """The same layout driven by the engine at depth 1 / batch 1."""
-    db = generate_acob(db_size, seed=2)
+    db = get_database(db_size, seed=2)
     disk = CostedDisk(n_pages=7 * cluster_pages + cluster_pages + 88)
     store = ObjectStore(disk, BufferManager(disk))
-    layout = layout_database(
-        db.complex_objects,
-        store,
-        InterObjectClustering(
-            cluster_pages=cluster_pages,
-            disk_order=db.type_ids_depth_first(),
-        ),
-        shared=db.shared_pool,
-    )
+    layout = _acob_layout(db, db_size, cluster_pages, "costed", store)
     operator = Assembly(
         ListSource(layout.root_order),
         store,

@@ -1000,12 +1000,22 @@ def _register_fabric() -> None:
     ALL_FIGURES["fabric"] = figure_fabric
 
 
+def _register_perf() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    # NOTE: perf reports wall-clock throughput — keep it OUT of the CI
+    # bench-regression family list; it is gated by perf_floor instead.
+    from repro.bench.perf import figure_perf
+
+    ALL_FIGURES["perf"] = figure_perf
+
+
 _register_baselines()
 _register_service()
 _register_batch()
 _register_elapsed()
 _register_robustness()
 _register_fabric()
+_register_perf()
 
 #: One-line summaries for ``python -m repro.bench --list``.
 DESCRIPTIONS = {
@@ -1031,4 +1041,5 @@ DESCRIPTIONS = {
     "elapsed": "event-driven elapsed-time figures E-1..E-3",
     "robustness": "fault-injection robustness figures R-1..R-2",
     "fabric": "sharded fabric figures F-1..F-3 (load, hedging, shedding)",
+    "perf": "raw simulator throughput P-1 (wall clock; perf_floor gate)",
 }

@@ -17,7 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.cluster.layout import LayoutResult, layout_database
+from repro.cluster.layout import (
+    LayoutResult,
+    LayoutSnapshot,
+    layout_database,
+    restore_layout,
+    snapshot_layout,
+)
 from repro.cluster.policies import (
     ClusteringPolicy,
     InterObjectClustering,
@@ -128,8 +134,28 @@ def get_database(
 
 
 def clear_database_cache() -> None:
-    """Drop cached databases (tests use this to bound memory)."""
+    """Drop cached databases and layouts (tests use this to bound memory)."""
     _DB_CACHE.clear()
+    _LAYOUT_SNAPSHOTS.clear()
+
+
+#: Layouts are deterministic functions of these config fields; the
+#: snapshot cache is keyed by them and bounded to the most recent few
+#: entries (page images dominate: ~1 KB per page).
+_LAYOUT_SNAPSHOTS: Dict[Tuple, LayoutSnapshot] = {}
+_LAYOUT_CACHE_LIMIT = 8
+
+
+def _layout_key(config: ExperimentConfig) -> Tuple:
+    """The config fields layout construction actually depends on."""
+    return (
+        config.n_complex_objects,
+        config.sharing,
+        config.seed,
+        config.clustering,
+        config.cluster_pages,
+        config.layout_seed,
+    )
 
 
 def make_policy(config: ExperimentConfig, database: ACOBDatabase) -> ClusteringPolicy:
@@ -150,22 +176,38 @@ def make_policy(config: ExperimentConfig, database: ACOBDatabase) -> ClusteringP
 
 
 def build_layout(config: ExperimentConfig) -> Tuple[ACOBDatabase, LayoutResult]:
-    """Generate (cached) and lay out (fresh) the configured database."""
+    """Generate (cached) and lay out the configured database.
+
+    Layouts are deterministic, so the post-layout disk image is cached
+    per parameter point (snapshot/restore): the first build runs the
+    placement policy and writes every page; later builds of the same
+    point restore the page images onto a fresh disk/buffer/store.  The
+    restored state is bit-identical to a rebuild — sweeps that revisit
+    a layout (e.g. a window-size sweep at one clustering) skip the
+    whole load phase.
+    """
     database = get_database(
         config.n_complex_objects, sharing=config.sharing, seed=config.seed
     )
+    key = _layout_key(config)
+    snapshot = _LAYOUT_SNAPSHOTS.get(key)
     disk = SimulatedDisk()
     buffer = BufferManager(disk, capacity=config.buffer_capacity)
     store = ObjectStore(disk, buffer)
-    layout = layout_database(
-        database.complex_objects,
-        store,
-        make_policy(config, database),
-        shared=database.shared_pool,
-        seed=config.layout_seed,
-        validate=False,  # generators validate once; layouts are hot paths
-    )
-    return database, layout
+    if snapshot is None:
+        layout = layout_database(
+            database.complex_objects,
+            store,
+            make_policy(config, database),
+            shared=database.shared_pool,
+            seed=config.layout_seed,
+            validate=False,  # generators validate once; layouts are hot paths
+        )
+        _LAYOUT_SNAPSHOTS[key] = snapshot_layout(layout)
+        while len(_LAYOUT_SNAPSHOTS) > _LAYOUT_CACHE_LIMIT:
+            _LAYOUT_SNAPSHOTS.pop(next(iter(_LAYOUT_SNAPSHOTS)))
+        return database, layout
+    return database, restore_layout(snapshot, store)
 
 
 def build_assembly(

@@ -1,0 +1,384 @@
+"""Perf figure P-1: raw simulator throughput on a fixed workload mix.
+
+Every other figure family reports *simulated* quantities (seeks,
+service milliseconds, event-clock latency) that are bit-identical run
+to run.  This family measures the one thing those figures deliberately
+ignore: how many simulated pages and assembled objects the simulator
+itself pushes through per wall-clock second.  It exists so raw-speed
+regressions (an accidentally quadratic maintenance loop, a hot-path
+allocation) are caught by CI instead of silently doubling benchmark
+wall time.
+
+The mix is fixed and representative of the four execution styles:
+
+* **plain** — synchronous elevator assembly, inter-object clustering
+  (the paper's Section 6 hot loop);
+* **batch** — batched elevator assembly over an unclustered layout
+  (exercises ``pop_batch`` coalescing and ``fix_many``);
+* **piped** — the event-driven pipelined engine over a declustered
+  multi-device layout (Section 7);
+* **fabric** — the sharded service fabric draining an open-loop
+  backlog (replicas, routing, admission).
+
+Wall-clock numbers are machine-dependent, so this family is **never**
+part of the bit-identity regression gate: the archived
+``results/ci_baseline.json`` series must not contain P-1, and the CI
+job that runs it compares against a ``perf_floor`` entry with large
+headroom, failing only on gross slowdowns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.bench.report import FigureResult
+
+#: Per-scale workload parameters.  ``full`` is the documented mix
+#: (docs/perf.md); ``smoke`` is the CI-sized version of the same four
+#: workloads, small enough to run in a few seconds on a cold runner.
+SCALES: Dict[str, Dict[str, Tuple]] = {
+    "full": {
+        "plain": (1000, "inter-object", 100, 1),
+        "batch": (1000, "unclustered", 100, 8),
+        "piped": (400, 4, 25, 256, 2, 4),
+        "fabric": (48, 2, 60),
+    },
+    "smoke": {
+        "plain": (300, "inter-object", 50, 1),
+        "batch": (300, "unclustered", 50, 8),
+        "piped": (200, 4, 25, 128, 2, 4),
+        "fabric": (48, 2, 24),
+    },
+}
+
+#: Workload execution order (also the P-1 x axis).
+WORKLOADS = ("plain", "batch", "piped", "fabric")
+
+
+@dataclass
+class PerfSample:
+    """Throughput of one workload of the mix.
+
+    ``seconds`` is the best wall-clock time over the configured
+    repeats; ``pages`` and ``ops`` are simulated pages read and
+    completed operations (assembled objects or served requests) of a
+    single pass, which are deterministic per scale.
+    """
+
+    workload: str
+    pages: int
+    ops: int
+    seconds: float
+    pages_per_sec: float
+    ops_per_sec: float
+
+
+def _run_plain(params: Tuple) -> Tuple[int, int]:
+    """One synchronous (or batched) assembly; returns (pages, ops)."""
+    db_size, clustering, window, batch_pages = params
+    result = run_experiment(
+        ExperimentConfig(
+            n_complex_objects=db_size,
+            clustering=clustering,
+            scheduler="elevator",
+            window_size=window,
+            batch_pages=batch_pages,
+        )
+    )
+    return result.pages_read, result.emitted
+
+
+def _run_piped(params: Tuple) -> Tuple[int, int]:
+    """One pipelined multi-device run; returns (pages, ops)."""
+    from repro.bench.elapsed import _pipelined_run
+
+    db_size, n_devices, window_per_device, cluster_pages, depth, batch = params
+    engine, _stats, emitted = _pipelined_run(
+        db_size,
+        n_devices,
+        window_per_device,
+        cluster_pages,
+        issue_depth=depth,
+        batch_pages=batch,
+    )
+    return engine.disk.stats.pages_read, emitted
+
+
+def _run_fabric(params: Tuple) -> Tuple[int, int]:
+    """One fabric backlog drain; returns (pages, ops)."""
+    from repro.bench.fabric import _build
+    from repro.fabric import open_loop_workload
+    from repro.workloads.acob import generate_acob
+
+    db_size, n_shards, requests = params
+    db = generate_acob(db_size, seed=2)
+    fabric = _build(db, n_shards=n_shards)
+    specs = open_loop_workload(fabric, [0.0] * requests, seed=11)
+    report = fabric.run(specs)
+    pages = sum(
+        replica.store.disk.stats.pages_read
+        for shard in fabric.shards
+        for replica in shard.replicas
+    )
+    return pages, len(report.served)
+
+
+#: Workload name -> runner; every runner returns ``(pages, ops)``.
+_RUNNERS: Dict[str, Callable[[Tuple], Tuple[int, int]]] = {
+    "plain": _run_plain,
+    "batch": _run_plain,
+    "piped": _run_piped,
+    "fabric": _run_fabric,
+}
+
+
+def run_perf_mix(scale: str = "full", repeats: int = 3) -> List[PerfSample]:
+    """Time the fixed mix; best-of-``repeats`` wall clock per workload.
+
+    The first repeat may build database/layout caches the later ones
+    reuse — exactly like a warm benchmarking process — so best-of
+    timing reports the steady-state hot path.
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r} (want one of {list(SCALES)})")
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    samples: List[PerfSample] = []
+    for workload in WORKLOADS:
+        params = SCALES[scale][workload]
+        runner = _RUNNERS[workload]
+        best = float("inf")
+        pages = ops = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pages, ops = runner(params)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        best = max(best, 1e-9)
+        samples.append(
+            PerfSample(
+                workload=workload,
+                pages=pages,
+                ops=ops,
+                seconds=round(best, 4),
+                pages_per_sec=round(pages / best, 1),
+                ops_per_sec=round(ops / best, 1),
+            )
+        )
+    return samples
+
+
+def figure_perf(scale: str = "full", repeats: int = 3) -> FigureResult:
+    """P-1: pages/sec and ops/sec of the fixed mix (wall clock).
+
+    Checks are sanity-only (every workload completed, throughput
+    positive) — absolute speed is machine-dependent and is gated
+    separately by the CI ``perf_floor`` with wide headroom, never by a
+    shape check that could flake on a slow runner.
+    """
+    figure = FigureResult(
+        figure_id="Perf P-1",
+        title=f"simulator throughput, fixed {scale} mix (wall clock)",
+        x_label="workload (0=plain 1=batch 2=piped 3=fabric)",
+        y_label="per wall-clock second",
+    )
+    samples = run_perf_mix(scale=scale, repeats=repeats)
+    for index, sample in enumerate(samples):
+        figure.add_point("pages per second", index, sample.pages_per_sec)
+        figure.add_point("ops per second", index, sample.ops_per_sec)
+        figure.notes.append(
+            f"{sample.workload}: {sample.pages} pages / {sample.ops} ops "
+            f"in {sample.seconds:.3f}s best-of-{repeats} -> "
+            f"{sample.pages_per_sec:.0f} pages/s, "
+            f"{sample.ops_per_sec:.0f} ops/s"
+        )
+    figure.notes.append(
+        "wall-clock figure: excluded from the bit-identity regression "
+        "gate; CI compares against results/ci_baseline.json perf_floor"
+    )
+    figure.check(
+        "every workload read pages and completed operations",
+        all(s.pages > 0 and s.ops > 0 for s in samples),
+    )
+    figure.check(
+        "every workload reports positive finite throughput",
+        all(
+            0 < s.pages_per_sec < float("inf")
+            and 0 < s.ops_per_sec < float("inf")
+            for s in samples
+        ),
+    )
+    return figure
+
+
+def check_floor(
+    samples: Sequence[PerfSample], baseline_path: Union[str, Path], scale: str
+) -> Tuple[bool, List[str]]:
+    """Compare samples against the baseline's ``perf_floor`` entry.
+
+    Returns ``(ok, messages)``.  The floor is deliberately generous
+    (>=30% headroom below expected throughput when recorded) so only
+    gross regressions trip it; a missing ``perf_floor`` key or a floor
+    recorded for a different scale produces a message but passes.
+    """
+    document = json.loads(Path(baseline_path).read_text())
+    floor = document.get("perf_floor")
+    messages: List[str] = []
+    if not floor:
+        messages.append(
+            f"{baseline_path}: no perf_floor entry; nothing to enforce"
+        )
+        return True, messages
+    if floor.get("scale") != scale:
+        messages.append(
+            f"perf_floor was recorded at scale {floor.get('scale')!r}, "
+            f"this run used {scale!r}; floor not enforced"
+        )
+        return True, messages
+    ok = True
+    floors: Dict[str, float] = floor.get("pages_per_sec", {})
+    by_name = {sample.workload: sample for sample in samples}
+    for workload, minimum in sorted(floors.items()):
+        sample = by_name.get(workload)
+        if sample is None:
+            messages.append(f"{workload}: floor {minimum} but workload not run")
+            ok = False
+            continue
+        verdict = "ok" if sample.pages_per_sec >= minimum else "BELOW FLOOR"
+        messages.append(
+            f"{workload}: {sample.pages_per_sec:.0f} pages/s "
+            f"(floor {minimum:.0f}) {verdict}"
+        )
+        ok = ok and sample.pages_per_sec >= minimum
+    return ok, messages
+
+
+def profile_mix(
+    scale: str, top: int = 40
+) -> Tuple[cProfile.Profile, str]:
+    """Run one pass of the mix under cProfile; returns (profile, text).
+
+    ``text`` is the pstats top-``top`` functions by cumulative time.
+    Profiling inflates wall time several-fold, so the pass is not
+    timed — use it to see *where* the time goes, not how much.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_perf_mix(scale=scale, repeats=1)
+    profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats(
+        "cumulative"
+    ).print_stats(top)
+    return profiler, buffer.getvalue()
+
+
+def _render_table(samples: Sequence[PerfSample]) -> str:
+    """Fixed-width throughput table for the CLI."""
+    lines = [
+        f"{'workload':<8} {'pages':>7} {'ops':>6} {'best_s':>8} "
+        f"{'pages/s':>10} {'ops/s':>9}"
+    ]
+    for sample in samples:
+        lines.append(
+            f"{sample.workload:<8} {sample.pages:>7} {sample.ops:>6} "
+            f"{sample.seconds:>8.3f} {sample.pages_per_sec:>10.0f} "
+            f"{sample.ops_per_sec:>9.0f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: run the fixed mix, optionally gate against a floor.
+
+    Exit status is 0 unless ``--check`` finds a workload below its
+    archived ``perf_floor`` (gross-regression gate).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="Measure raw simulator throughput on the fixed "
+        "workload mix (wall clock; see docs/perf.md).",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="full",
+        help="workload sizes: 'full' (documented mix) or 'smoke' (CI)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timing repeats per workload; best-of is reported (default 3)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the samples as a JSON document to FILE",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="enforce the perf_floor entry of an archived baseline "
+        "JSON (results/ci_baseline.json in CI); exit 1 below floor",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="also run one pass under cProfile and write the pstats "
+        "top-functions report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    samples = run_perf_mix(scale=args.scale, repeats=args.repeats)
+    print(_render_table(samples))
+
+    if args.json:
+        target = Path(args.json)
+        if str(target.parent) and not target.parent.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(
+                {
+                    "scale": args.scale,
+                    "repeats": args.repeats,
+                    "samples": [asdict(sample) for sample in samples],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        print(f"wrote {target}")
+
+    if args.profile_out:
+        _profiler, text = profile_mix(args.scale)
+        target = Path(args.profile_out)
+        if str(target.parent) and not target.parent.exists():
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+        print(f"wrote profile report to {target}")
+
+    if args.check:
+        ok, messages = check_floor(samples, args.check, args.scale)
+        for message in messages:
+            print(message)
+        if not ok:
+            print("perf floor check FAILED")
+            return 1
+        print("perf floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

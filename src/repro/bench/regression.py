@@ -120,6 +120,31 @@ def compare_files(
     )
 
 
+def timing_deltas(
+    baseline: dict, current: dict, threshold: float = 0.25
+) -> List[str]:
+    """Warn-only wall-clock drift between two runs' ``timings=``.
+
+    Returns one line per driver whose harness wall time moved by more
+    than ``threshold`` (relative) in either direction.  Timings are
+    machine-dependent, so these lines are informational — they are
+    printed by the CLI but **never** affect the gate's exit status.
+    """
+    old = baseline.get("timings") or {}
+    new = current.get("timings") or {}
+    lines: List[str] = []
+    for name in sorted(set(old) & set(new)):
+        old_s, new_s = old[name], new[name]
+        if old_s <= 0:
+            continue
+        drift = (new_s - old_s) / old_s
+        if abs(drift) > threshold:
+            lines.append(
+                f"  {name}: {old_s:.1f}s -> {new_s:.1f}s ({drift:+.0%})"
+            )
+    return lines
+
+
 def main(argv: Union[Sequence[str], None] = None) -> int:
     """CLI: compare a current export against an archived baseline.
 
@@ -142,10 +167,20 @@ def main(argv: Union[Sequence[str], None] = None) -> int:
     )
     args = parser.parse_args(argv)
     try:
-        report = compare_files(args.baseline, args.current, args.tolerance)
+        baseline = load_json(args.baseline)
+        current = load_json(args.current)
     except FileNotFoundError as exc:
         parser.error(f"cannot read results file: {exc.filename}")
+    report = compare_documents(baseline, current, args.tolerance)
     print(report.describe())
+    drift = timing_deltas(baseline, current)
+    if drift:
+        print(
+            "wall-clock timing drift (warn-only, machine-dependent, "
+            "never gates):"
+        )
+        for line in drift:
+            print(line)
     return 0 if report.clean else 1
 
 

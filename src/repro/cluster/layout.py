@@ -21,6 +21,68 @@ from repro.storage.store import ObjectStore
 
 
 @dataclass
+class LayoutSnapshot:
+    """Frozen post-layout state, sufficient to clone a laid-out database.
+
+    Layouts are deterministic, so benchmarks that revisit a parameter
+    point can capture the result once (:func:`snapshot_layout`) and
+    restore it onto a fresh disk/store (:func:`restore_layout`) instead
+    of re-running placement and encoding.  Held values are immutable or
+    copied on restore, so snapshots never leak state between runs.
+    """
+
+    pages: Dict[int, bytes]
+    next_free: int
+    directory: Dict
+    decoded: Dict
+    policy_name: str
+    roots: List[Oid]
+    root_order: List[Oid]
+    extents: Dict[str, Extent]
+    object_count: int
+
+
+def snapshot_layout(layout: "LayoutResult") -> LayoutSnapshot:
+    """Capture the post-layout disk image and bookkeeping of ``layout``."""
+    store = layout.store
+    pages, next_free = store.disk.dump_state()
+    return LayoutSnapshot(
+        pages=pages,
+        next_free=next_free,
+        directory=store.directory.dump(),
+        decoded=store.dump_decoded(),
+        policy_name=layout.policy_name,
+        roots=list(layout.roots),
+        root_order=list(layout.root_order),
+        extents=dict(layout.extents),
+        object_count=layout.object_count,
+    )
+
+
+def restore_layout(
+    snapshot: LayoutSnapshot, store: ObjectStore
+) -> "LayoutResult":
+    """Reconstitute a :class:`LayoutResult` from ``snapshot`` onto ``store``.
+
+    ``store`` (and its disk/buffer) must be freshly constructed — the
+    state matches what :func:`layout_database` leaves behind, which
+    resets head position and all statistics.  The restored layout is
+    bit-identical to a rebuild of the same parameter point.
+    """
+    store.disk.load_state(snapshot.pages, snapshot.next_free)
+    store.directory.load(snapshot.directory)
+    store.load_decoded(snapshot.decoded)
+    return LayoutResult(
+        store=store,
+        policy_name=snapshot.policy_name,
+        roots=list(snapshot.roots),
+        root_order=list(snapshot.root_order),
+        extents=dict(snapshot.extents),
+        object_count=snapshot.object_count,
+    )
+
+
+@dataclass
 class LayoutResult:
     """A database resident on disk, ready to be assembled.
 

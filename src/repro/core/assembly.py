@@ -837,7 +837,9 @@ class Assembly(VolcanoIterator):
             return
         if fetch_span is not None:
             self._spans.end(fetch_span, outcome="fetched")
-        page_id = self._store.page_of(ref.oid)
+        # Objects never move once registered, so the scheduler's page id
+        # is still the object's physical page — no directory re-lookup.
+        page_id = ref.page_id
         state.fetches += 1
         self.stats.fetches += 1
         self.stats.peak_pinned_pages = max(
@@ -947,16 +949,21 @@ class Assembly(VolcanoIterator):
         assert self._scheduler is not None
         now: List[UnresolvedReference] = []
         gate = self._selective and state.gate_references()
+        page_of = self._store.page_of
+        subtree_rejection = self._component_iter.subtree_rejection
+        serial = state.serial
         for child in children:
+            node = child.node
+            self._seq += 1
             unresolved = UnresolvedReference(
                 oid=child.oid,
-                page_id=self._store.page_of(child.oid),
-                owner=state.serial,
-                node=child.node,
+                page_id=page_of(child.oid),
+                owner=serial,
+                node=node,
                 parent=child.parent,
                 parent_slot=child.slot,
-                seq=self._next_seq(),
-                rejection=self._component_iter.subtree_rejection(child.node),
+                seq=self._seq,
+                rejection=subtree_rejection(node),
             )
             if gate and child.node.subtree_predicates == 0:
                 state.deferred.append(unresolved)

@@ -96,16 +96,18 @@ class ComponentIterator:
     def expand(self, assembled: AssembledObject) -> List[ChildReference]:
         """Unresolved children of one (possibly pre-built) object."""
         refs: List[ChildReference] = []
-        for slot in assembled.node.child_slots():
-            child_node = assembled.node.children[slot]
-            if slot in assembled.children:
+        swizzled = assembled.children
+        ref_oids = assembled.ref_oids
+        n_refs = len(ref_oids)
+        for slot, child_node in assembled.node.child_items():
+            if slot in swizzled:
                 continue  # already swizzled (partially assembled input)
-            if slot >= len(assembled.ref_oids):
+            if slot >= n_refs:
                 raise AssemblyError(
                     f"{assembled.oid}: template expects reference slot "
-                    f"{slot}, record has {len(assembled.ref_oids)}"
+                    f"{slot}, record has {n_refs}"
                 )
-            target = assembled.ref_oids[slot]
+            target = ref_oids[slot]
             if target.is_null():
                 continue
             refs.append(ChildReference(target, child_node, assembled, slot))
@@ -144,12 +146,12 @@ class ComponentIterator:
         pending-predicate counters must shrink accordingly.
         """
         live_slots = {ref.slot for ref in resolved_children}
+        swizzled = assembled.children
         missing_nodes = 0
         missing_predicates = 0
-        for slot in assembled.node.child_slots():
-            if slot in live_slots or slot in assembled.children:
+        for slot, child_node in assembled.node.child_items():
+            if slot in live_slots or slot in swizzled:
                 continue
-            child_node = assembled.node.children[slot]
             missing_nodes += child_node.subtree_nodes
             missing_predicates += child_node.subtree_predicates
         return missing_nodes, missing_predicates

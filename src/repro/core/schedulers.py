@@ -37,7 +37,6 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from bisect import bisect_left, insort
 from collections import deque
-from dataclasses import dataclass, field
 from typing import (
     Callable,
     Deque,
@@ -56,7 +55,6 @@ from repro.errors import SchedulerError
 from repro.storage.oid import Oid
 
 
-@dataclass
 class UnresolvedReference:
     """One pending inter-object reference.
 
@@ -66,17 +64,46 @@ class UnresolvedReference:
     location from the OID directory — the elevator's key.  ``rejection``
     is the highest rejection probability in the referenced subtree,
     used for equal-cost tie-breaking.
+
+    A slotted plain class rather than a dataclass: references are the
+    single most-allocated object of a run (one per edge of every
+    assembled complex object), and the pools key them by identity, so
+    the dict-free layout is pure savings.
     """
 
-    oid: Oid
-    page_id: int
-    owner: int
-    node: TemplateNode
-    parent: Optional[AssembledObject]
-    parent_slot: int
-    seq: int
-    rejection: float = 0.0
-    is_root: bool = False
+    __slots__ = (
+        "oid",
+        "page_id",
+        "owner",
+        "node",
+        "parent",
+        "parent_slot",
+        "seq",
+        "rejection",
+        "is_root",
+    )
+
+    def __init__(
+        self,
+        oid: Oid,
+        page_id: int,
+        owner: int,
+        node: TemplateNode,
+        parent: Optional[AssembledObject],
+        parent_slot: int,
+        seq: int,
+        rejection: float = 0.0,
+        is_root: bool = False,
+    ) -> None:
+        self.oid = oid
+        self.page_id = page_id
+        self.owner = owner
+        self.node = node
+        self.parent = parent
+        self.parent_slot = parent_slot
+        self.seq = seq
+        self.rejection = rejection
+        self.is_root = is_root
 
     def __repr__(self) -> str:
         return (
@@ -107,6 +134,18 @@ class SweepPool:
     batched reads.
     """
 
+    __slots__ = (
+        "_entries",
+        "_dead",
+        "_owners",
+        "_owner_of",
+        "_seq_of",
+        "_live",
+        "_page_live",
+        "_recent_pages",
+        "_resident_live",
+    )
+
     def __init__(self) -> None:
         self._entries: List[Tuple[int, float, int, UnresolvedReference]] = []
         self._dead: Set[int] = set()
@@ -114,6 +153,16 @@ class SweepPool:
         self._owner_of: Dict[int, Hashable] = {}
         self._seq_of: Dict[int, int] = {}
         self._live = 0
+        #: live references per page — lets the zero-seek probe iterate
+        #: distinct pending pages instead of individual references.
+        self._page_live: Dict[int, int] = {}
+        #: pages whose residency may have changed since the last
+        #: zero-seek probe (new references, or a single-reference pop
+        #: that left siblings behind on a page about to be read).
+        self._recent_pages: Set[int] = set()
+        #: pages confirmed buffer-resident by an earlier probe and
+        #: still pending; re-verified (eviction) before being taken.
+        self._resident_live: Set[int] = set()
 
     def __len__(self) -> int:
         return self._live
@@ -146,6 +195,9 @@ class SweepPool:
         self._owner_of[ref_id] = key
         self._seq_of[ref_id] = entry_seq
         self._live += 1
+        page_live = self._page_live
+        page_live[ref.page_id] = page_live.get(ref.page_id, 0) + 1
+        self._recent_pages.add(ref.page_id)
 
     def _unindex(self, ref: UnresolvedReference) -> None:
         ref_id = id(ref)
@@ -156,6 +208,7 @@ class SweepPool:
         if not bucket:
             del self._owners[key]
         self._live -= 1
+        self._drop_page_ref(ref.page_id)
 
     def remove_owner(self, owner_key: Hashable) -> List[UnresolvedReference]:
         """Retract every reference of one owner — O(k) in the retracted."""
@@ -168,6 +221,7 @@ class SweepPool:
             del self._owner_of[ref_id]
             self._seq_of.pop(ref_id, None)
             self._dead.add(ref_id)
+            self._drop_page_ref(ref.page_id)
         self._live -= len(removed)
         if len(self._dead) * 2 > len(self._entries):
             self._compact()
@@ -179,6 +233,16 @@ class SweepPool:
         self._dead.add(id(ref))
         if len(self._dead) * 2 > len(self._entries):
             self._compact()
+
+    def _drop_page_ref(self, page_id: int) -> None:
+        """One live reference left ``page_id`` (retired or retracted)."""
+        remaining = self._page_live[page_id] - 1
+        if remaining:
+            self._page_live[page_id] = remaining
+        else:
+            del self._page_live[page_id]
+            self._recent_pages.discard(page_id)
+            self._resident_live.discard(page_id)
 
     def _compact(self) -> None:
         self._entries = [
@@ -256,6 +320,11 @@ class SweepPool:
     def _pop_at(self, index: int) -> UnresolvedReference:
         entry = self._entries.pop(index)
         self._unindex(entry[3])
+        # A single-reference pop usually precedes a read of its page;
+        # siblings left behind may therefore turn resident without any
+        # pool event, so flag the page for the next zero-seek probe.
+        if entry[0] in self._page_live:
+            self._recent_pages.add(entry[0])
         return entry[3]
 
     # -- single-reference SCAN (the paper's §6.2 elevator) -------------------
@@ -331,12 +400,31 @@ class SweepPool:
         self, resident_fn: Callable[[int], bool]
     ) -> List[UnresolvedReference]:
         """All references of the lowest-numbered pending page that is
-        buffer-resident, or ``[]`` — a zero-seek batch."""
-        for entry in self._entries:
-            if id(entry[3]) in self._dead:
-                continue
-            if resident_fn(entry[0]):
-                return self.take_page(entry[0])
+        buffer-resident, or ``[]`` — a zero-seek batch.
+
+        Residency is tracked incrementally: a pending page can only
+        *become* resident after an event the pool sees (a reference
+        added for an already-resident page, or a single-reference pop
+        that leaves siblings on a page the caller is about to read), so
+        each probe checks just the pages flagged since the last one
+        plus previously confirmed pages — not every pending page.
+        Confirmed pages are re-verified before being taken, so eviction
+        by a bounded buffer never yields a stale batch.
+        """
+        recent = self._recent_pages
+        confirmed = self._resident_live
+        if recent:
+            page_live = self._page_live
+            for page_id in recent:
+                if page_id in page_live and resident_fn(page_id):
+                    confirmed.add(page_id)
+            recent.clear()
+        if confirmed:
+            stale = [p for p in confirmed if not resident_fn(p)]
+            for page_id in stale:
+                confirmed.discard(page_id)
+            if confirmed:
+                return self.take_page(min(confirmed))
         return []
 
     def pop_batch_next(
@@ -361,7 +449,15 @@ class SweepPool:
 
 
 class ReferenceScheduler(ABC):
-    """The scheduling structure of footnote 5."""
+    """The scheduling structure of footnote 5.
+
+    The base class and the built-in schedulers are slotted; subclasses
+    that declare no ``__slots__`` of their own (the adaptive and
+    multi-device schedulers) simply regain a ``__dict__`` and lose
+    nothing.
+    """
+
+    __slots__ = ("ops",)
 
     #: registry name, e.g. ``"elevator"``.
     name: str = "abstract"
@@ -458,6 +554,8 @@ class _IndexedDequeScheduler(ReferenceScheduler):
     sweep over them or when they reach half the deque.
     """
 
+    __slots__ = ("_deque", "_owners", "_dead", "_live")
+
     def __init__(self) -> None:
         super().__init__()
         self._deque: Deque[UnresolvedReference] = deque()
@@ -524,6 +622,8 @@ class DepthFirstScheduler(_IndexedDequeScheduler):
     slot order (footnote 6: child order is reference storage order).
     """
 
+    __slots__ = ()
+
     name = "depth-first"
 
     def add(self, ref: UnresolvedReference) -> None:
@@ -547,6 +647,8 @@ class DepthFirstScheduler(_IndexedDequeScheduler):
 
 class BreadthFirstScheduler(_IndexedDequeScheduler):
     """FIFO across the whole window (Section 6.2's second algorithm)."""
+
+    __slots__ = ()
 
     name = "breadth-first"
 
@@ -576,6 +678,14 @@ class ElevatorScheduler(ReferenceScheduler):
     head movement.  Single-reference :meth:`pop` deliberately ignores
     residency so the §6.2 reproduction keeps the paper's pure SCAN.
     """
+
+    __slots__ = (
+        "_head_fn",
+        "_resident_fn",
+        "_pool",
+        "_direction",
+        "resident_batches",
+    )
 
     name = "elevator"
 
@@ -637,6 +747,8 @@ class CScanScheduler(ReferenceScheduler):
     for the §6.2 scheduling study.  ``resident_fn`` plays the same
     batch-only role as on :class:`ElevatorScheduler`.
     """
+
+    __slots__ = ("_head_fn", "_resident_fn", "_pool", "resident_batches")
 
     name = "cscan"
 

@@ -173,10 +173,14 @@ class ObjectDef:
         refs = [NULL_OID] * fmt.n_refs
         for name, target in self.refs.items():
             refs[self.otype.ref_slot(name)] = target
-        try:
-            return ObjectRecord(ints=ints, refs=refs, fmt=fmt)
-        except RecordError as exc:
-            raise ModelError(f"object {self.oid} not encodable: {exc}") from exc
+        # ints/refs have the right lengths by construction, so skip the
+        # ObjectRecord length validation (layout builds call this once
+        # per stored object).
+        record = ObjectRecord.__new__(ObjectRecord)
+        record.ints = ints
+        record.refs = refs
+        record.fmt = fmt
+        return record
 
     def referenced_oids(self) -> List[Oid]:
         """Non-null references, in field order."""

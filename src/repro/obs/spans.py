@@ -194,6 +194,8 @@ class SpanRecorder:
             return NULL_SPAN
         if sample and not self._admit_sample():
             return NULL_SPAN
+        # ``attrs`` is this call's own **kwargs dict, so it is adopted
+        # without the defensive copy the hot span paths used to pay.
         span = Span(
             name=name,
             span_id=self._next_id,
@@ -201,7 +203,7 @@ class SpanRecorder:
             start=self.now(),
             kind=kind,
             device=device,
-            attrs=dict(attrs),
+            attrs=attrs,
         )
         self._next_id += 1
         self.spans.append(span)
@@ -262,7 +264,7 @@ class SpanRecorder:
             end=end,
             kind=kind,
             device=device,
-            attrs=dict(attrs),
+            attrs=attrs,
         )
         self._next_id += 1
         self.spans.append(span)

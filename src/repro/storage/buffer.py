@@ -260,17 +260,18 @@ class BufferManager:
         The caller must balance every ``fix`` with an ``unfix``.  The
         returned :class:`Page` object stays valid until the final unfix.
         """
-        self.stats.fixes += 1
+        stats = self.stats
+        stats.fixes += 1
         frame = self._frames.get(page_id)
         if frame is not None:
-            self.stats.hits += 1
+            stats.hits += 1
             frame.referenced = True
             if self.policy == "lru":
                 self._frames.move_to_end(page_id)
         else:
-            self.stats.faults += 1
+            stats.faults += 1
             if page_id in self._ever_resident:
-                self.stats.re_reads += 1
+                stats.re_reads += 1
             self._ensure_room()
             frame = _Frame(self._disk.read(page_id))
             self._frames[page_id] = frame
@@ -300,10 +301,12 @@ class BufferManager:
         """
         distinct: List[int] = []
         seen: Set[int] = set()
+        seen_add = seen.add
+        distinct_append = distinct.append
         for page_id in page_ids:
             if page_id not in seen:
-                seen.add(page_id)
-                distinct.append(page_id)
+                seen_add(page_id)
+                distinct_append(page_id)
         if self._capacity is not None:
             immovable = sum(
                 1
@@ -338,23 +341,29 @@ class BufferManager:
                 for page_id in pages:
                     self.unfix(page_id)
                 raise
+            stats = self.stats
+            frames = self._frames
+            ever_resident = self._ever_resident
             for page in batch:
                 page_id = page.page_id
-                self.stats.fixes += 1
-                self.stats.faults += 1
-                if page_id in self._ever_resident:
-                    self.stats.re_reads += 1
+                stats.fixes += 1
+                stats.faults += 1
+                if page_id in ever_resident:
+                    stats.re_reads += 1
                 frame = _Frame(page)
                 frame.pin_count = 1
                 self._pinned_count += 1
-                self._frames[page_id] = frame
-                self._ever_resident.add(page_id)
+                frames[page_id] = frame
+                ever_resident.add(page_id)
                 pages[page_id] = page
-        # Remaining occurrences beyond the first are plain hits.
-        counts = Counter(page_ids)
-        for page_id, occurrences in counts.items():
-            for _ in range(occurrences - 1):
-                self.fix(page_id)
+        # Remaining occurrences beyond the first are plain hits (the
+        # Counter pass is skipped entirely when every id was distinct,
+        # which is the common case on the sweep path).
+        if len(seen) != len(page_ids):
+            counts = Counter(page_ids)
+            for page_id, occurrences in counts.items():
+                for _ in range(occurrences - 1):
+                    self.fix(page_id)
         return pages
 
     def unfix(self, page_id: int, dirty: bool = False) -> None:

@@ -44,6 +44,12 @@ class CostModel:
         for name in ("seek_per_page", "settle", "rotational_latency", "transfer"):
             if getattr(self, name) < 0:
                 raise DiskError(f"{name} must be non-negative")
+        # Memo of (distance, n_pages) -> milliseconds.  The model is
+        # frozen, distances repeat heavily under sweep scheduling, and
+        # the cache is not a dataclass field, so equality/hash/asdict
+        # semantics are unchanged.  object.__setattr__ sidesteps the
+        # frozen-instance guard.
+        object.__setattr__(self, "_run_cache", {})
 
     def service_time(self, distance: int) -> float:
         """Milliseconds to serve one read that moved ``distance`` pages."""
@@ -57,10 +63,17 @@ class CostModel:
         constant positioning costs are amortized over the run, not just
         the seek distance.
         """
+        key = (distance, n_pages)
+        try:
+            return self._run_cache[key]
+        except KeyError:
+            pass
         positioning = 0.0
         if distance > 0:
             positioning = self.settle + self.seek_per_page * distance
-        return positioning + self.rotational_latency + self.transfer * n_pages
+        cost = positioning + self.rotational_latency + self.transfer * n_pages
+        self._run_cache[key] = cost
+        return cost
 
 
 #: A pricing where only distance matters — reproduces the paper's metric.

@@ -218,6 +218,28 @@ class SimulatedDisk:
         self._next_free = end
         return Extent(start=start, length=n_pages)
 
+    # -- snapshot / restore ---------------------------------------------------
+
+    def dump_state(self) -> Tuple[Dict[int, bytes], int]:
+        """Copy of ``(page images, allocation cursor)``.
+
+        Page images are immutable ``bytes``, so the copy is shallow and
+        cheap; together with :meth:`load_state` this lets a harness
+        snapshot a freshly laid-out database and restore it onto a new
+        disk instead of re-running the whole load phase.
+        """
+        return dict(self._pages), self._next_free
+
+    def load_state(self, pages: Dict[int, bytes], next_free: int) -> None:
+        """Install page images and allocation cursor from :meth:`dump_state`.
+
+        Head position and statistics are untouched — callers restore
+        onto a fresh disk, which matches the post-layout state
+        (:func:`repro.cluster.layout.layout_database` resets both).
+        """
+        self._pages = dict(pages)
+        self._next_free = next_free
+
     # -- I/O ------------------------------------------------------------------
 
     def _seek_to(self, page_id: int) -> int:
@@ -291,11 +313,13 @@ class SimulatedDisk:
         if self.fault_injector is not None:
             self.fault_injector.before_read(page_id, 1)
         distance = self._seek_to(page_id)
-        self.stats.reads += 1
-        self.stats.pages_read += 1
-        self.stats.read_seek_total += distance
-        self.stats.read_seeks.append(distance)
-        self._notify_read(page_id, distance, 1)
+        stats = self.stats
+        stats.reads += 1
+        stats.pages_read += 1
+        stats.read_seek_total += distance
+        stats.read_seeks.append(distance)
+        if self._io_listener is not None or self._io_observers:
+            self._notify_read(page_id, distance, 1)
         return self._page_image(page_id)
 
     def read_run(self, start: int, n_pages: int) -> List[Page]:
@@ -316,14 +340,16 @@ class SimulatedDisk:
         if self.fault_injector is not None:
             self.fault_injector.before_read(start, n_pages)
         distance = self._seek_to(start)
+        stats = self.stats
         if n_pages > 1:
             self._settle_at(start + n_pages - 1)
-            self.stats.run_reads += 1
-        self.stats.reads += 1
-        self.stats.pages_read += n_pages
-        self.stats.read_seek_total += distance
-        self.stats.read_seeks.append(distance)
-        self._notify_read(start, distance, n_pages)
+            stats.run_reads += 1
+        stats.reads += 1
+        stats.pages_read += n_pages
+        stats.read_seek_total += distance
+        stats.read_seeks.append(distance)
+        if self._io_listener is not None or self._io_observers:
+            self._notify_read(start, distance, n_pages)
         return [self._page_image(start + i) for i in range(n_pages)]
 
     def read_batch(self, page_ids: Sequence[int]) -> List[Page]:

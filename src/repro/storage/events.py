@@ -34,7 +34,6 @@ bit-for-bit.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import DiskError
@@ -45,6 +44,8 @@ from repro.storage.multidisk import MultiDeviceDisk
 
 class EventClock:
     """A monotone simulation clock, in milliseconds."""
+
+    __slots__ = ("_now",)
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -75,6 +76,8 @@ class EventQueue:
     the entry is skipped when it surfaces), which is how a hedge timer
     is retired when its request completes before the delay expires.
     """
+
+    __slots__ = ("_heap", "_next_handle", "_cancelled")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Any]] = []
@@ -121,7 +124,6 @@ class EventQueue:
         return when, payload
 
 
-@dataclass
 class InFlightIO:
     """One asynchronous I/O request, from issue to completion.
 
@@ -132,19 +134,50 @@ class InFlightIO:
     device — modelling CPU-side work overlapping the in-flight reads.
     """
 
-    handle: int
-    device: int
-    payload: Any = None
-    physical_reads: int = 0
-    pages_read: int = 0
-    issue_time: float = 0.0
-    start_time: float = 0.0
-    complete_time: float = 0.0
+    __slots__ = (
+        "handle",
+        "device",
+        "payload",
+        "physical_reads",
+        "pages_read",
+        "issue_time",
+        "start_time",
+        "complete_time",
+    )
+
+    def __init__(
+        self,
+        handle: int,
+        device: int,
+        payload: Any = None,
+        physical_reads: int = 0,
+        pages_read: int = 0,
+        issue_time: float = 0.0,
+        start_time: float = 0.0,
+        complete_time: float = 0.0,
+    ) -> None:
+        self.handle = handle
+        self.device = device
+        self.payload = payload
+        self.physical_reads = physical_reads
+        self.pages_read = pages_read
+        self.issue_time = issue_time
+        self.start_time = start_time
+        self.complete_time = complete_time
 
     @property
     def service_time(self) -> float:
         """Milliseconds the device worked on this request."""
         return self.complete_time - self.start_time
+
+    def __repr__(self) -> str:
+        return (
+            f"InFlightIO(handle={self.handle}, device={self.device}, "
+            f"physical_reads={self.physical_reads}, "
+            f"pages={self.pages_read}, "
+            f"start={self.start_time:.3f}, "
+            f"complete={self.complete_time:.3f})"
+        )
 
 
 class AsyncIOEngine:
@@ -264,15 +297,16 @@ class AsyncIOEngine:
             else 0.0
         )
         issue_time = self.clock.now
+        pages_total = 0
         if reads or injected:
             start = max(issue_time, self._busy_until[device])
             # Accumulate left-to-right, one term per physical read, so a
             # serialized schedule reproduces CostedDisk's float sum exactly.
             complete = start
+            run_service_time = self.cost_model.run_service_time
             for distance, n_pages in reads:
-                complete += self.cost_model.run_service_time(
-                    distance, n_pages
-                )
+                complete += run_service_time(distance, n_pages)
+                pages_total += n_pages
             if injected:
                 complete += injected
             self._busy_until[device] = complete
@@ -292,7 +326,7 @@ class AsyncIOEngine:
             device=device,
             payload=payload,
             physical_reads=len(reads),
-            pages_read=sum(n_pages for _d, n_pages in reads),
+            pages_read=pages_total,
             issue_time=issue_time,
             start_time=start,
             complete_time=complete,

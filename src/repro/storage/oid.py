@@ -16,6 +16,7 @@ is what elevator scheduling orders fetches by.
 from __future__ import annotations
 
 import struct
+from functools import lru_cache
 from typing import Dict, Iterator, NamedTuple, Optional
 
 from repro.errors import DuplicateOidError, RecordError, UnknownOidError
@@ -24,6 +25,17 @@ from repro.errors import DuplicateOidError, RecordError, UnknownOidError
 OID_SIZE = 10
 
 _OID_STRUCT = struct.Struct(">HQ")
+
+
+@lru_cache(maxsize=1 << 16)
+def _encode_oid(type_id: int, serial: int) -> bytes:
+    """Cached ``struct`` pack of one OID (OIDs repeat across records)."""
+    try:
+        return _OID_STRUCT.pack(type_id, serial)
+    except struct.error as exc:
+        raise RecordError(
+            f"cannot encode OID {Oid(type_id, serial)!r}: {exc}"
+        ) from exc
 
 
 class Oid(NamedTuple):
@@ -42,10 +54,7 @@ class Oid(NamedTuple):
 
     def encode(self) -> bytes:
         """Serialize to :data:`OID_SIZE` bytes (big-endian)."""
-        try:
-            return _OID_STRUCT.pack(self.type_id, self.serial)
-        except struct.error as exc:
-            raise RecordError(f"cannot encode OID {self!r}: {exc}") from exc
+        return _encode_oid(self.type_id, self.serial)
 
     @classmethod
     def decode(cls, data: bytes) -> "Oid":
@@ -54,8 +63,7 @@ class Oid(NamedTuple):
             raise RecordError(
                 f"OID must be {OID_SIZE} bytes, got {len(data)}"
             )
-        type_id, serial = _OID_STRUCT.unpack(data)
-        return cls(type_id, serial)
+        return cls._make(_OID_STRUCT.unpack(data))
 
     def __str__(self) -> str:
         if self.is_null():
@@ -127,3 +135,15 @@ class OidDirectory:
     def page_of(self, oid: Oid) -> int:
         """Return just the page id of ``oid`` (elevator scheduling key)."""
         return self.lookup(oid).page_id
+
+    def dump(self) -> Dict[Oid, Rid]:
+        """A copy of the full OID → RID mapping (snapshot support)."""
+        return dict(self._entries)
+
+    def load(self, entries: Dict[Oid, Rid]) -> None:
+        """Replace the mapping with a copy of ``entries``.
+
+        Used by harness snapshot/restore to clone a laid-out database
+        onto a fresh store without re-registering every object.
+        """
+        self._entries = dict(entries)

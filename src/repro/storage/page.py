@@ -53,8 +53,8 @@ class Page:
                     f"page image must be {PAGE_SIZE} bytes, got {len(data)}"
                 )
             self._buf = bytearray(data)
-            stored_id, self._slot_count, self._free_offset = _HEADER.unpack(
-                self._buf[:PAGE_HEADER_SIZE]
+            stored_id, self._slot_count, self._free_offset = (
+                _HEADER.unpack_from(self._buf)
             )
             self.page_id = stored_id
             if page_id != stored_id:
@@ -65,8 +65,8 @@ class Page:
     # -- header helpers ----------------------------------------------------
 
     def _write_header(self) -> None:
-        self._buf[:PAGE_HEADER_SIZE] = _HEADER.pack(
-            self.page_id, self._slot_count, self._free_offset
+        _HEADER.pack_into(
+            self._buf, 0, self.page_id, self._slot_count, self._free_offset
         )
 
     def _slot_pos(self, slot: int) -> int:
@@ -77,12 +77,12 @@ class Page:
             raise BadSlotError(
                 f"slot {slot} out of range on page {self.page_id}"
             )
-        pos = self._slot_pos(slot)
-        return _SLOT.unpack(self._buf[pos : pos + SLOT_SIZE])
+        return _SLOT.unpack_from(self._buf, PAGE_SIZE - (slot + 1) * SLOT_SIZE)
 
     def _write_slot(self, slot: int, offset: int, length: int) -> None:
-        pos = self._slot_pos(slot)
-        self._buf[pos : pos + SLOT_SIZE] = _SLOT.pack(offset, length)
+        _SLOT.pack_into(
+            self._buf, PAGE_SIZE - (slot + 1) * SLOT_SIZE, offset, length
+        )
 
     # -- public interface ---------------------------------------------------
 
@@ -108,17 +108,18 @@ class Page:
         """
         if not record:
             raise PageError("cannot insert an empty record")
-        if not self.fits(len(record)):
+        length = len(record)
+        if length + SLOT_SIZE > self.free_space:
             raise PageFullError(
-                f"page {self.page_id}: {len(record)} bytes do not fit "
+                f"page {self.page_id}: {length} bytes do not fit "
                 f"({self.free_space} free)"
             )
         offset = self._free_offset
-        self._buf[offset : offset + len(record)] = record
+        self._buf[offset : offset + length] = record
         slot = self._slot_count
         self._slot_count += 1
-        self._write_slot(slot, offset, len(record))
-        self._free_offset = offset + len(record)
+        self._write_slot(slot, offset, length)
+        self._free_offset = offset + length
         self._write_header()
         return slot
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from repro.errors import RecordError
@@ -30,6 +31,21 @@ DEFAULT_N_INTS = 4
 DEFAULT_N_REFS = 8
 #: Paper geometry: total payload bytes (4*4 + 8*10 = 96).
 OBJECT_PAYLOAD_SIZE = DEFAULT_N_INTS * 4 + DEFAULT_N_REFS * OID_SIZE
+
+
+@lru_cache(maxsize=None)
+def _codec(n_ints: int, n_refs: int) -> Tuple[struct.Struct, struct.Struct]:
+    """Precompiled ``(int_struct, refs_struct)`` for one record geometry.
+
+    Compiling a :class:`struct.Struct` per encode/decode call dominated
+    the fetch profile; formats are tiny value objects, so one compiled
+    pair per distinct ``(n_ints, n_refs)`` geometry serves every record.
+    The refs struct packs all OIDs of a record in a single call.
+    """
+    return (
+        struct.Struct(f">{n_ints}i"),
+        struct.Struct(">" + "HQ" * n_refs),
+    )
 
 
 @dataclass(frozen=True)
@@ -49,7 +65,7 @@ class RecordFormat:
         return self.n_ints * 4 + self.n_refs * OID_SIZE
 
     def _int_struct(self) -> struct.Struct:
-        return struct.Struct(f">{self.n_ints}i")
+        return _codec(self.n_ints, self.n_refs)[0]
 
     def encode(self, ints: Sequence[int], refs: Sequence[Oid]) -> bytes:
         """Encode field values into ``payload_size`` bytes."""
@@ -61,11 +77,19 @@ class RecordFormat:
             raise RecordError(
                 f"expected {self.n_refs} refs, got {len(refs)}"
             )
+        int_struct, refs_struct = _codec(self.n_ints, self.n_refs)
         try:
-            head = self._int_struct().pack(*ints)
+            head = int_struct.pack(*ints)
         except struct.error as exc:
             raise RecordError(f"integer field out of range: {exc}") from exc
-        return head + b"".join(ref.encode() for ref in refs)
+        try:
+            flat = [part for ref in refs for part in ref]
+            return head + refs_struct.pack(*flat)
+        except (struct.error, TypeError):
+            # Fall back to per-reference encoding so an out-of-range OID
+            # raises the same RecordError (naming the offending OID) the
+            # one-at-a-time path always produced.
+            return head + b"".join(ref.encode() for ref in refs)
 
     def decode(self, data: bytes) -> Tuple[Tuple[int, ...], Tuple[Oid, ...]]:
         """Decode ``payload_size`` bytes into ``(ints, refs)`` tuples."""
@@ -73,13 +97,10 @@ class RecordFormat:
             raise RecordError(
                 f"payload must be {self.payload_size} bytes, got {len(data)}"
             )
-        int_end = self.n_ints * 4
-        ints = self._int_struct().unpack(data[:int_end])
-        refs: List[Oid] = []
-        for i in range(self.n_refs):
-            start = int_end + i * OID_SIZE
-            refs.append(Oid.decode(data[start : start + OID_SIZE]))
-        return ints, tuple(refs)
+        int_struct, refs_struct = _codec(self.n_ints, self.n_refs)
+        ints = int_struct.unpack_from(data)
+        flat = iter(refs_struct.unpack_from(data, self.n_ints * 4))
+        return ints, tuple(map(Oid._make, zip(flat, flat)))
 
 
 #: The paper's 96-byte object format.
@@ -116,7 +137,13 @@ class ObjectRecord:
     def decode(cls, data: bytes, fmt: RecordFormat = PAPER_FORMAT) -> "ObjectRecord":
         """Deserialize a payload produced by :meth:`encode`."""
         ints, refs = fmt.decode(data)
-        return cls(ints=list(ints), refs=list(refs), fmt=fmt)
+        # fmt.decode guarantees the field counts, so the __post_init__
+        # length validation is skipped on this (hot) construction path.
+        record = cls.__new__(cls)
+        record.ints = list(ints)
+        record.refs = list(refs)
+        record.fmt = fmt
+        return record
 
     def live_refs(self) -> List[Oid]:
         """The non-null references, in slot order."""

@@ -51,6 +51,16 @@ class ObjectStore:
         self.directory = OidDirectory()
         self._stored_size = OID_SIZE + fmt.payload_size
         self._write_hooks: List[Callable[[Oid], None]] = []
+        # Write-through cache of decoded field values, keyed by RID:
+        # rid -> (stored bytes, owner OID, int values, reference OIDs).
+        # A fetch only uses an entry when the page still holds exactly
+        # the remembered bytes, so out-of-band page mutation (fault
+        # injection, corruption tests) safely falls back to the codec,
+        # and the owner OID keeps the directory cross-check intact.
+        # Values are immutable tuples — fetches hand out fresh lists.
+        self._decoded: Dict[
+            Rid, Tuple[bytes, Oid, Tuple[int, ...], Tuple[Oid, ...]]
+        ] = {}
 
     # -- write hooks ------------------------------------------------------------
 
@@ -108,7 +118,7 @@ class ObjectStore:
         """
         if oid in self.directory:
             raise DuplicateOidError(f"{oid} already stored")
-        if record.fmt != self.fmt:
+        if record.fmt is not self.fmt and record.fmt != self.fmt:
             raise RecordError("record format does not match store format")
         page = self._disk.read(page_id)
         stored = oid.encode() + record.encode()
@@ -121,6 +131,9 @@ class ObjectStore:
         self._disk.write(page)
         rid = Rid(page_id, slot)
         self.directory.register(oid, rid)
+        self._decoded[rid] = (
+            stored, oid, tuple(record.ints), tuple(record.refs)
+        )
         self._notify_write(oid)
         return rid
 
@@ -135,19 +148,45 @@ class ObjectStore:
         """
         page = self._disk.read(page_id)
         rids: List[Rid] = []
+        entries: List[
+            Tuple[bytes, Oid, Tuple[int, ...], Tuple[Oid, ...]]
+        ] = []
         for oid, record in items:
             if oid in self.directory:
                 raise DuplicateOidError(f"{oid} already stored")
-            if record.fmt != self.fmt:
+            if record.fmt is not self.fmt and record.fmt != self.fmt:
                 raise RecordError("record format does not match store format")
             stored = oid.encode() + record.encode()
             slot = page.insert(stored)
             rids.append(Rid(page_id, slot))
+            entries.append(
+                (stored, oid, tuple(record.ints), tuple(record.refs))
+            )
         self._disk.write(page)
-        for (oid, _record), rid in zip(items, rids):
+        for (oid, _record), rid, entry in zip(items, rids, entries):
             self.directory.register(oid, rid)
+            self._decoded[rid] = entry
             self._notify_write(oid)
         return rids
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def dump_decoded(
+        self,
+    ) -> "Dict[Rid, Tuple[bytes, Oid, Tuple[int, ...], Tuple[Oid, ...]]]":
+        """A copy of the decoded-record cache (snapshot support).
+
+        Entries are immutable tuples, so the copy is shallow and safe
+        to share across store instances.
+        """
+        return dict(self._decoded)
+
+    def load_decoded(
+        self,
+        entries: "Dict[Rid, Tuple[bytes, Oid, Tuple[int, ...], Tuple[Oid, ...]]]",
+    ) -> None:
+        """Install decoded-cache entries captured by :meth:`dump_decoded`."""
+        self._decoded = dict(entries)
 
     # -- fetching (measured phase) ----------------------------------------------------
 
@@ -160,11 +199,32 @@ class ObjectStore:
         record = ObjectRecord.decode(stored[OID_SIZE:], self.fmt)
         return oid, record
 
+    def _record_from_cache(
+        self, cached: Tuple[bytes, Oid, Tuple[int, ...], Tuple[Oid, ...]]
+    ) -> ObjectRecord:
+        """An :class:`ObjectRecord` built from a decoded-cache entry.
+
+        Fresh lists every time: callers may mutate the record without
+        touching the cache.
+        """
+        record = ObjectRecord.__new__(ObjectRecord)
+        record.ints = list(cached[2])
+        record.refs = list(cached[3])
+        record.fmt = self.fmt
+        return record
+
     def fetch(self, oid: Oid) -> ObjectRecord:
         """Read one object through the buffer (fix, copy, unfix)."""
         rid = self.directory.lookup(oid)
         with self.buffer.fixed(rid.page_id) as page:
             stored = page.read(rid.slot)
+        cached = self._decoded.get(rid)
+        if cached is not None and cached[0] == stored:
+            if cached[1] != oid:
+                raise StorageError(
+                    f"directory said {oid} at {rid}, page holds {cached[1]}"
+                )
+            return self._record_from_cache(cached)
         stored_oid, record = self._decode_stored(stored)
         if stored_oid != oid:
             raise StorageError(
@@ -183,6 +243,14 @@ class ObjectStore:
         rid = self.directory.lookup(oid)
         page = self.buffer.fix(rid.page_id)
         stored = page.read(rid.slot)
+        cached = self._decoded.get(rid)
+        if cached is not None and cached[0] == stored:
+            if cached[1] != oid:
+                self.buffer.unfix(rid.page_id)
+                raise StorageError(
+                    f"directory said {oid} at {rid}, page holds {cached[1]}"
+                )
+            return self._record_from_cache(cached)
         stored_oid, record = self._decode_stored(stored)
         if stored_oid != oid:
             self.buffer.unfix(rid.page_id)
@@ -206,11 +274,15 @@ class ObjectStore:
         update path that forces the assembly service's result cache to
         drop complex objects containing ``oid``.
         """
-        if record.fmt != self.fmt:
+        if record.fmt is not self.fmt and record.fmt != self.fmt:
             raise RecordError("record format does not match store format")
         rid = self.directory.lookup(oid)
+        stored = oid.encode() + record.encode()
         with self.buffer.fixed(rid.page_id, dirty=True) as page:
-            page.update(rid.slot, oid.encode() + record.encode())
+            page.update(rid.slot, stored)
+        self._decoded[rid] = (
+            stored, oid, tuple(record.ints), tuple(record.refs)
+        )
         self._notify_write(oid)
 
     # -- scanning -------------------------------------------------------------------------

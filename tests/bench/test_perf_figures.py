@@ -1,0 +1,206 @@
+"""Tests for the perf figure family (raw simulator throughput).
+
+The family is wall-clock, so these tests assert structure and gating
+logic, never absolute speed: the smoke mix completes with positive
+throughput, the figure carries both series and passes its own sanity
+checks, and the ``perf_floor`` gate trips exactly when a workload's
+pages/sec lands below its archived floor.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.figures import ALL_FIGURES, DESCRIPTIONS
+from repro.bench.perf import (
+    SCALES,
+    WORKLOADS,
+    PerfSample,
+    check_floor,
+    figure_perf,
+    run_perf_mix,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_samples():
+    """One timed pass of the smoke mix, shared across the module."""
+    return run_perf_mix(scale="smoke", repeats=1)
+
+
+class TestRunPerfMix:
+    def test_covers_every_workload_in_order(self, smoke_samples):
+        assert tuple(s.workload for s in smoke_samples) == WORKLOADS
+
+    def test_every_sample_is_positive(self, smoke_samples):
+        for sample in smoke_samples:
+            assert sample.pages > 0
+            assert sample.ops > 0
+            assert sample.seconds > 0
+            assert sample.pages_per_sec > 0
+            assert sample.ops_per_sec > 0
+
+    def test_throughput_is_consistent_with_counts(self, smoke_samples):
+        for sample in smoke_samples:
+            assert sample.pages_per_sec == pytest.approx(
+                sample.pages / sample.seconds, rel=0.01
+            )
+            assert sample.ops_per_sec == pytest.approx(
+                sample.ops / sample.seconds, rel=0.01
+            )
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_perf_mix(scale="galactic")
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            run_perf_mix(scale="smoke", repeats=0)
+
+    def test_scales_define_every_workload(self):
+        for scale, params in SCALES.items():
+            assert set(params) == set(WORKLOADS), scale
+
+
+class TestFigurePerf:
+    def test_smoke_figure_shape(self):
+        figure = figure_perf(scale="smoke", repeats=1)
+        assert figure.figure_id == "Perf P-1"
+        assert set(figure.series) == {
+            "pages per second",
+            "ops per second",
+        }
+        for name in figure.series:
+            xs = [x for x, _ in figure.series[name]]
+            assert xs == list(range(len(WORKLOADS)))
+            assert all(y > 0 for _, y in figure.series[name])
+        assert not figure.violations
+
+
+class TestRegistry:
+    def test_perf_is_registered(self):
+        assert "perf" in ALL_FIGURES
+
+    def test_every_registered_figure_is_described(self):
+        missing = set(ALL_FIGURES) - set(DESCRIPTIONS)
+        assert not missing, f"figures without --list descriptions: {missing}"
+
+
+def make_sample(workload, pages_per_sec):
+    """A synthetic sample for floor-gate tests."""
+    return PerfSample(
+        workload=workload,
+        pages=1000,
+        ops=100,
+        seconds=1.0,
+        pages_per_sec=pages_per_sec,
+        ops_per_sec=100.0,
+    )
+
+
+def write_baseline(tmp_path, document):
+    """Archive ``document`` as a baseline JSON and return its path."""
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(document))
+    return path
+
+
+class TestCheckFloor:
+    def test_above_floor_passes(self, tmp_path):
+        path = write_baseline(
+            tmp_path,
+            {
+                "perf_floor": {
+                    "scale": "smoke",
+                    "pages_per_sec": {"plain": 500.0},
+                }
+            },
+        )
+        ok, messages = check_floor(
+            [make_sample("plain", 900.0)], path, "smoke"
+        )
+        assert ok
+        assert any("ok" in message for message in messages)
+
+    def test_below_floor_fails(self, tmp_path):
+        path = write_baseline(
+            tmp_path,
+            {
+                "perf_floor": {
+                    "scale": "smoke",
+                    "pages_per_sec": {"plain": 500.0},
+                }
+            },
+        )
+        ok, messages = check_floor(
+            [make_sample("plain", 100.0)], path, "smoke"
+        )
+        assert not ok
+        assert any("BELOW FLOOR" in message for message in messages)
+
+    def test_missing_floor_passes_with_message(self, tmp_path):
+        path = write_baseline(tmp_path, {"figures": []})
+        ok, messages = check_floor(
+            [make_sample("plain", 1.0)], path, "smoke"
+        )
+        assert ok
+        assert any("no perf_floor" in message for message in messages)
+
+    def test_scale_mismatch_passes_with_message(self, tmp_path):
+        path = write_baseline(
+            tmp_path,
+            {
+                "perf_floor": {
+                    "scale": "full",
+                    "pages_per_sec": {"plain": 500.0},
+                }
+            },
+        )
+        ok, messages = check_floor(
+            [make_sample("plain", 1.0)], path, "smoke"
+        )
+        assert ok
+        assert any("floor not enforced" in message for message in messages)
+
+    def test_floored_workload_missing_from_run_fails(self, tmp_path):
+        path = write_baseline(
+            tmp_path,
+            {
+                "perf_floor": {
+                    "scale": "smoke",
+                    "pages_per_sec": {"batch": 500.0},
+                }
+            },
+        )
+        ok, messages = check_floor(
+            [make_sample("plain", 900.0)], path, "smoke"
+        )
+        assert not ok
+        assert any("not run" in message for message in messages)
+
+
+class TestArchivedBaselineHygiene:
+    """The repo's archived baseline must keep perf out of the gate."""
+
+    @staticmethod
+    def load_archived_baseline():
+        """The committed results/ci_baseline.json document."""
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "results"
+            / "ci_baseline.json"
+        )
+        return json.loads(path.read_text())
+
+    def test_ci_baseline_has_a_smoke_perf_floor(self):
+        floor = self.load_archived_baseline()["perf_floor"]
+        assert floor["scale"] == "smoke"
+        assert set(floor["pages_per_sec"]) == set(WORKLOADS)
+        assert all(v > 0 for v in floor["pages_per_sec"].values())
+
+    def test_perf_figure_not_in_bit_identity_baseline(self):
+        document = self.load_archived_baseline()
+        figure_ids = {f["figure_id"] for f in document["figures"]}
+        assert "Perf P-1" not in figure_ids

@@ -1,7 +1,11 @@
 """Tests for benchmark regression comparison."""
 
 from repro.bench.export import figure_to_dict, write_json
-from repro.bench.regression import compare_documents, compare_files
+from repro.bench.regression import (
+    compare_documents,
+    compare_files,
+    timing_deltas,
+)
 from repro.bench.report import FigureResult
 
 
@@ -78,6 +82,43 @@ class TestFiles:
         curr = write_json([figure], tmp_path / "curr.json")
         report = compare_files(base, curr)
         assert not report.clean
+
+
+class TestTimingDeltas:
+    """Warn-only wall-clock drift lines; never part of the gate."""
+
+    def test_stable_timings_produce_no_lines(self):
+        base = {"timings": {"fig": 10.0, "total": 12.0}}
+        assert timing_deltas(base, base) == []
+
+    def test_large_drift_is_reported_both_directions(self):
+        base = {"timings": {"slow": 10.0, "fast": 10.0}}
+        curr = {"timings": {"slow": 20.0, "fast": 5.0}}
+        lines = timing_deltas(base, curr)
+        assert any("slow" in line and "+100%" in line for line in lines)
+        assert any("fast" in line and "-50%" in line for line in lines)
+
+    def test_small_drift_stays_silent(self):
+        base = {"timings": {"fig": 10.0}}
+        curr = {"timings": {"fig": 11.0}}
+        assert timing_deltas(base, curr) == []
+
+    def test_missing_timings_are_tolerated(self):
+        assert timing_deltas({}, {"timings": {"fig": 1.0}}) == []
+        assert timing_deltas({"timings": {"fig": 1.0}}, {}) == []
+
+    def test_zero_baseline_skipped(self):
+        base = {"timings": {"fig": 0.0}}
+        curr = {"timings": {"fig": 9.0}}
+        assert timing_deltas(base, curr) == []
+
+    def test_drift_never_dirties_the_report(self):
+        """Doubling every timing leaves the bit-identity gate clean."""
+        base = make_document()
+        base["timings"] = {"fig": 10.0}
+        curr = make_document()
+        curr["timings"] = {"fig": 20.0}
+        assert compare_documents(base, curr).clean
 
 
 class TestEndToEnd:

@@ -1,0 +1,368 @@
+"""Equivalence of the optimized SweepPool against a naive reference.
+
+The raw-speed pass gave :class:`~repro.core.schedulers.SweepPool` lazy
+tombstones, an owner index, a per-page live counter, and incremental
+residency tracking for the zero-seek probe.  None of that may change
+*behaviour*: pop order, batch composition, and the page picked by
+``take_resident_page`` must stay bit-identical to the obvious
+implementation (one sorted list, full scans everywhere).
+
+Hypothesis drives both pools through identical streams of adds,
+elevator/C-SCAN pops, whole-page and run batches, owner retractions,
+zero-seek probes, and buffer residency changes (reads after pops,
+arbitrary evictions), asserting after every operation that the two
+pools return the same references and hold the same live entries.
+
+The residency model follows the buffer's real contract: a page can
+*become* resident only after a read, and reads happen only to pages
+just popped from the pool (or to pages with nothing pending, loaded by
+some other consumer of the buffer); eviction can happen at any time.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedulers import SweepPool, UnresolvedReference
+from repro.core.template import TemplateNode
+from repro.storage.oid import Oid
+
+NODE = TemplateNode("n")
+
+#: Page-id range of the generated streams (small enough to collide).
+N_PAGES = 48
+
+
+def make_ref(serial, page, owner, rejection, seq):
+    """One pool entry; ``rejection`` exercises the sort tie-break."""
+    return UnresolvedReference(
+        oid=Oid(1, serial),
+        page_id=page,
+        owner=owner,
+        node=NODE,
+        parent=None,
+        parent_slot=-1,
+        seq=seq,
+        rejection=rejection,
+    )
+
+
+class NaiveSweepPool:
+    """The obvious pool: one sorted list, linear scans, no caches.
+
+    Implements exactly the SweepPool operations the suite compares,
+    from the documented semantics — sorted by ``(page, -rejection,
+    seq)``, elevator/C-SCAN positioning, whole-page batches, and a
+    full-scan zero-seek probe.
+    """
+
+    def __init__(self):
+        """Start empty."""
+        self.entries = []
+
+    def __len__(self):
+        """Number of pending references."""
+        return len(self.entries)
+
+    def add(self, ref, seq):
+        """Insert ``ref`` keeping the list sorted."""
+        self.entries.append((ref.page_id, -ref.rejection, seq, ref))
+        self.entries.sort(key=lambda entry: entry[:3])
+
+    def remove_owner(self, owner):
+        """Retract one owner's references, in insertion (seq) order."""
+        removed = sorted(
+            (entry for entry in self.entries if entry[3].owner == owner),
+            key=lambda entry: entry[2],
+        )
+        self.entries = [
+            entry for entry in self.entries if entry[3].owner != owner
+        ]
+        return [entry[3] for entry in removed]
+
+    def _locate(self, head, direction):
+        """SCAN positioning: next entry and possibly reversed direction."""
+        above = [entry for entry in self.entries if entry[0] >= head]
+        below = [entry for entry in self.entries if entry[0] < head]
+        if direction > 0:
+            if above:
+                return min(above), direction
+            return max(below), -1
+        if below:
+            return max(below), direction
+        return min(above), 1
+
+    def pop_next(self, head, direction):
+        """Elevator pop: nearest entry in the sweep direction."""
+        entry, direction = self._locate(head, direction)
+        self.entries.remove(entry)
+        return entry[3], direction
+
+    def pop_cscan(self, head):
+        """C-SCAN pop: upward only, wrapping to the lowest page."""
+        above = [entry for entry in self.entries if entry[0] >= head]
+        entry = min(above) if above else min(self.entries)
+        self.entries.remove(entry)
+        return entry[3]
+
+    def take_page(self, page_id):
+        """Remove and return every reference on one page, pool order."""
+        taken = sorted(
+            (entry for entry in self.entries if entry[0] == page_id),
+            key=lambda entry: entry[:3],
+        )
+        self.entries = [
+            entry for entry in self.entries if entry[0] != page_id
+        ]
+        return [entry[3] for entry in taken]
+
+    def take_run(self, page_id, direction, max_pages):
+        """Contiguous whole-page batch in the sweep direction."""
+        refs = self.take_page(page_id)
+        pages = 1
+        while refs and pages < max_pages:
+            next_page = page_id + direction * pages
+            if next_page < 0:
+                break
+            more = self.take_page(next_page)
+            if not more:
+                break
+            refs.extend(more)
+            pages += 1
+        return refs
+
+    def take_resident_page(self, resident_fn):
+        """Full scan: all refs of the lowest resident pending page."""
+        pending = sorted({entry[0] for entry in self.entries})
+        resident = [page for page in pending if resident_fn(page)]
+        if not resident:
+            return []
+        return self.take_page(min(resident))
+
+    def pop_batch_next(self, head, direction, max_pages):
+        """Elevator batch: position, then take the run."""
+        entry, direction = self._locate(head, direction)
+        return self.take_run(entry[0], direction, max_pages), direction
+
+    def pop_batch_cscan(self, head, max_pages):
+        """C-SCAN batch: upward positioning, upward run."""
+        above = [entry for entry in self.entries if entry[0] >= head]
+        entry = min(above) if above else min(self.entries)
+        return self.take_run(entry[0], 1, max_pages)
+
+    def live_pages(self):
+        """Set of pages with pending references."""
+        return {entry[0] for entry in self.entries}
+
+
+@st.composite
+def pool_op_streams(draw):
+    """Mixed maintenance/pop/probe/residency op streams.
+
+    ``mark`` booleans on pop-style ops simulate the read that follows
+    a pop (turning the popped pages buffer-resident) — the event the
+    incremental residency tracking keys on.
+    """
+    mark = st.booleans()
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("add"),
+                    st.integers(0, N_PAGES - 1),   # page
+                    st.integers(0, 4),             # owner
+                    st.integers(0, 3),             # rejection grade
+                ),
+                st.tuples(st.just("pop"), mark),
+                st.tuples(st.just("cscan"), mark),
+                st.tuples(
+                    st.just("take_page"), st.integers(0, N_PAGES - 1)
+                ),
+                st.tuples(st.just("batch"), st.integers(1, 4), mark),
+                st.tuples(st.just("cbatch"), st.integers(1, 4), mark),
+                st.tuples(st.just("retract"), st.integers(0, 4)),
+                st.tuples(st.just("probe")),
+                st.tuples(st.just("evict"), st.integers(0, 63)),
+                st.tuples(
+                    st.just("load"), st.integers(0, N_PAGES - 1)
+                ),
+            ),
+            max_size=120,
+        )
+    )
+
+
+def assert_same_refs(fast_refs, naive_refs):
+    """Both pools must return the very same reference objects in order."""
+    assert [id(ref) for ref in fast_refs] == [
+        id(ref) for ref in naive_refs
+    ]
+
+
+def assert_same_state(pool, naive):
+    """Live entries of the optimized pool match the naive list exactly."""
+    fast_entries = [
+        (page, neg_rej, seq, id(ref))
+        for page, neg_rej, seq, ref in pool.live_entries()
+    ]
+    naive_entries = [
+        (page, neg_rej, seq, id(ref))
+        for page, neg_rej, seq, ref in naive.entries
+    ]
+    assert fast_entries == naive_entries
+    assert len(pool) == len(naive)
+
+
+@given(pool_op_streams())
+@settings(max_examples=60, deadline=None)
+def test_sweep_pool_matches_naive_reference(ops):
+    """Every operation returns identical refs and leaves equal state."""
+    pool = SweepPool()
+    naive = NaiveSweepPool()
+    resident = set()
+    probes = 0
+    head, direction = 0, 1
+    serial = seq = 0
+
+    def resident_fn(page_id):
+        return page_id in resident
+
+    def mark_read(refs):
+        # The caller reads the pages it popped; their siblings (if any)
+        # are now buffer-resident without any further pool event.
+        for ref in refs:
+            resident.add(ref.page_id)
+
+    for op in ops:
+        kind = op[0]
+        if kind == "add":
+            _, page, owner, grade = op
+            serial += 1
+            seq += 1
+            ref = make_ref(serial, page, owner, grade / 4.0, seq)
+            pool.add(ref)
+            naive.add(ref, seq)
+        elif kind == "pop" and len(naive):
+            prev_direction = direction
+            ref, direction = pool.pop_next(head, prev_direction)
+            naive_ref, naive_dir = naive.pop_next(head, prev_direction)
+            assert id(ref) == id(naive_ref)
+            assert direction == naive_dir
+            head = ref.page_id
+            if op[1]:
+                mark_read([ref])
+        elif kind == "cscan" and len(naive):
+            ref = pool.pop_cscan(head)
+            naive_ref = naive.pop_cscan(head)
+            assert id(ref) == id(naive_ref)
+            head = ref.page_id
+            if op[1]:
+                mark_read([ref])
+        elif kind == "take_page":
+            assert_same_refs(
+                pool.take_page(op[1]), naive.take_page(op[1])
+            )
+        elif kind == "batch" and len(naive):
+            prev_direction = direction
+            refs, direction = pool.pop_batch_next(head, prev_direction, op[1])
+            naive_refs, naive_dir = naive.pop_batch_next(
+                head, prev_direction, op[1]
+            )
+            assert_same_refs(refs, naive_refs)
+            assert direction == naive_dir
+            if refs:
+                head = refs[-1].page_id
+            if op[2]:
+                mark_read(refs)
+        elif kind == "cbatch" and len(naive):
+            refs = pool.pop_batch_cscan(head, op[1])
+            assert_same_refs(refs, naive.pop_batch_cscan(head, op[1]))
+            if refs:
+                head = refs[-1].page_id
+            if op[2]:
+                mark_read(refs)
+        elif kind == "retract":
+            assert_same_refs(
+                pool.remove_owner(op[1]), naive.remove_owner(op[1])
+            )
+        elif kind == "probe":
+            probes += 1
+            refs = pool.take_resident_page(resident_fn)
+            assert_same_refs(
+                refs, naive.take_resident_page(resident_fn)
+            )
+            mark_read(refs)  # the batch's page stays in the buffer
+        elif kind == "evict":
+            # Bounded buffer: any page may leave at any time.
+            if resident:
+                victims = sorted(resident)
+                resident.discard(victims[op[1] % len(victims)])
+        elif kind == "load":
+            # Some other consumer of the buffer reads a page this pool
+            # has nothing pending on (a pending page can only turn
+            # resident via a pool-visible event — see module docstring).
+            if op[1] not in naive.live_pages():
+                resident.add(op[1])
+        assert_same_state(pool, naive)
+
+    # Drain both pools; the remaining stream must also agree.
+    while len(naive):
+        prev_direction = direction
+        ref, direction = pool.pop_next(head, prev_direction)
+        naive_ref, _ = naive.pop_next(head, prev_direction)
+        assert id(ref) == id(naive_ref)
+        head = ref.page_id
+    assert len(pool) == 0
+
+
+@given(pool_op_streams())
+@settings(max_examples=30, deadline=None)
+def test_probe_after_every_op_matches_full_scan(ops):
+    """A probe between every pair of ops still matches the full scan.
+
+    This is the adversarial schedule for the incremental tracking: the
+    ``_recent_pages`` flag set is cleared by each probe, so any missed
+    flagging event would surface as a divergence on the very next one.
+    """
+    pool = SweepPool()
+    naive = NaiveSweepPool()
+    resident = set()
+    head, direction = 0, 1
+    serial = seq = 0
+
+    def resident_fn(page_id):
+        return page_id in resident
+
+    for op in ops:
+        kind = op[0]
+        if kind == "add":
+            _, page, owner, grade = op
+            serial += 1
+            seq += 1
+            ref = make_ref(serial, page, owner, grade / 4.0, seq)
+            pool.add(ref)
+            naive.add(ref, seq)
+        elif kind in ("pop", "cscan") and len(naive):
+            if kind == "pop":
+                prev_direction = direction
+                ref, direction = pool.pop_next(head, prev_direction)
+                naive_ref, _ = naive.pop_next(head, prev_direction)
+            else:
+                ref = pool.pop_cscan(head)
+                naive_ref = naive.pop_cscan(head)
+            assert id(ref) == id(naive_ref)
+            head = ref.page_id
+            if op[1]:
+                resident.add(ref.page_id)
+        elif kind == "retract":
+            assert_same_refs(
+                pool.remove_owner(op[1]), naive.remove_owner(op[1])
+            )
+        elif kind == "evict" and resident:
+            victims = sorted(resident)
+            resident.discard(victims[op[1] % len(victims)])
+        elif kind == "load" and op[1] not in naive.live_pages():
+            resident.add(op[1])
+        # The adversarial part: probe after *every* operation.
+        refs = pool.take_resident_page(resident_fn)
+        assert_same_refs(refs, naive.take_resident_page(resident_fn))
+        assert_same_state(pool, naive)

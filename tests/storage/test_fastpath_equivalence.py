@@ -1,0 +1,164 @@
+"""Cached hot paths must be bit-identical to their naive references.
+
+The raw-speed pass added small caches in the storage layer: the OID
+encoder memoizes its ``struct`` pack, the cost model memoizes
+``(distance, n_pages)`` service times, and the object store keeps a
+decoded-record cache in front of the codec.  A cache can only be a
+pure speedup — these properties pin each one to the uncached
+computation across random inputs and call orders.
+"""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferManager
+from repro.storage.costmodel import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.oid import Oid
+from repro.storage.record import ObjectRecord
+from repro.storage.store import ObjectStore
+
+oids = st.tuples(st.integers(0, 0xFFFF), st.integers(0, 2**63))
+
+
+class TestOidEncodeCache:
+    """The memoized OID encoder equals a fresh struct pack."""
+
+    @given(st.lists(oids, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_matches_fresh_pack(self, pairs):
+        for type_id, serial in pairs:
+            expected = struct.pack(">HQ", type_id, serial)
+            # Two distinct instances with equal fields hit the same
+            # cache entry; both must produce the reference bytes.
+            assert Oid(type_id, serial).encode() == expected
+            assert Oid(type_id, serial).encode() == expected
+            assert Oid.decode(expected) == Oid(type_id, serial)
+
+    def test_repeated_encode_is_stable(self):
+        oid = Oid(7, 123456789)
+        first = oid.encode()
+        assert all(oid.encode() == first for _ in range(5))
+
+
+class TestCostModelMemo:
+    """The memoized run cost equals the documented formula."""
+
+    @staticmethod
+    def reference_cost(model, distance, n_pages):
+        """The formula from the class docstring, computed directly."""
+        positioning = 0.0
+        if distance > 0:
+            positioning = model.settle + model.seek_per_page * distance
+        return (
+            positioning
+            + model.rotational_latency
+            + model.transfer * n_pages
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5000), st.integers(1, 64)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_memo_matches_formula_in_any_order(self, calls):
+        model = CostModel()
+        for distance, n_pages in calls:
+            expected = self.reference_cost(model, distance, n_pages)
+            # First call populates the memo, second call reads it.
+            assert model.run_service_time(distance, n_pages) == expected
+            assert model.run_service_time(distance, n_pages) == expected
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_single_read_is_run_of_one(self, distance):
+        model = CostModel()
+        assert model.service_time(distance) == model.run_service_time(
+            distance, 1
+        )
+
+    def test_memo_is_per_instance(self):
+        fast = CostModel()
+        fast.run_service_time(10, 4)  # warm one instance's memo
+        slow = CostModel(seek_per_page=1.0)
+        assert slow.run_service_time(10, 4) == self.reference_cost(
+            slow, 10, 4
+        )
+
+
+def fresh_store():
+    """An empty store on its own simulated disk."""
+    disk = SimulatedDisk()
+    return ObjectStore(disk, BufferManager(disk))
+
+
+@st.composite
+def store_op_streams(draw):
+    """Random store/fetch/overwrite streams over a small OID space."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("store"),
+                    st.integers(1, 20),  # serial
+                    st.integers(-100, 100),  # payload marker
+                ),
+                st.tuples(
+                    st.just("fetch"), st.integers(1, 20), st.just(0)
+                ),
+                st.tuples(
+                    st.just("overwrite"),
+                    st.integers(1, 20),
+                    st.integers(-100, 100),
+                ),
+            ),
+            max_size=40,
+        )
+    )
+
+
+class TestDecodedRecordCache:
+    """Fetch via the decoded cache equals fetch via the codec."""
+
+    @given(store_op_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_cached_store_matches_codec_only_store(self, ops):
+        cached = fresh_store()
+        naive = fresh_store()
+        cached_extent = cached.disk.allocate(20)
+        naive_extent = naive.disk.allocate(20)
+        stored = set()
+        for kind, serial, marker in ops:
+            oid = Oid(3, serial)
+            record = ObjectRecord(
+                ints=[marker, serial, 0, 1],
+                refs=[Oid(1, serial + slot) for slot in range(8)],
+            )
+            if kind == "store" and serial not in stored:
+                # One page per serial keeps every page under capacity.
+                rid_a = cached.store_at(
+                    oid, record, cached_extent.start + serial - 1
+                )
+                rid_b = naive.store_at(
+                    oid, record, naive_extent.start + serial - 1
+                )
+                assert rid_a == rid_b
+                stored.add(serial)
+            elif kind == "fetch" and serial in stored:
+                naive._decoded.clear()  # force the codec path
+                assert (
+                    cached.fetch(oid).encode()
+                    == naive.fetch(oid).encode()
+                )
+            elif kind == "overwrite" and serial in stored:
+                cached.overwrite(oid, record)
+                naive.overwrite(oid, record)
+                naive._decoded.clear()
+                assert (
+                    cached.fetch(oid).encode()
+                    == naive.fetch(oid).encode()
+                )
