@@ -1000,6 +1000,13 @@ def _register_fabric() -> None:
     ALL_FIGURES["fabric"] = figure_fabric
 
 
+def _register_reorg() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    from repro.bench.reorg import figure_reorg
+
+    ALL_FIGURES["reorg"] = figure_reorg
+
+
 def _register_perf() -> None:
     # Imported here to keep module load cheap and avoid cycles.
     # NOTE: perf reports wall-clock throughput — keep it OUT of the CI
@@ -1015,6 +1022,7 @@ _register_batch()
 _register_elapsed()
 _register_robustness()
 _register_fabric()
+_register_reorg()
 _register_perf()
 
 #: One-line summaries for ``python -m repro.bench --list``.
@@ -1041,5 +1049,6 @@ DESCRIPTIONS = {
     "elapsed": "event-driven elapsed-time figures E-1..E-3",
     "robustness": "fault-injection robustness figures R-1..R-2",
     "fabric": "sharded fabric figures F-1..F-3 (load, hedging, shedding)",
+    "reorg": "online reorganization figures G-1..G-3 (shifting hot set)",
     "perf": "raw simulator throughput P-1 (wall clock; perf_floor gate)",
 }

@@ -6,7 +6,13 @@ from repro.cluster.analysis import (
     describe_profile,
     profile_layout,
 )
-from repro.cluster.layout import LayoutResult, layout_database
+from repro.cluster.layout import (
+    LayoutResult,
+    LayoutSnapshot,
+    layout_database,
+    restore_layout,
+    snapshot_layout,
+)
 from repro.cluster.policies import (
     DEFAULT_CLUSTER_PAGES,
     POLICIES,
@@ -16,19 +22,40 @@ from repro.cluster.policies import (
     Placement,
     Unclustered,
 )
+from repro.cluster.reorg import (
+    AffinitySketch,
+    DeviceIdleTracker,
+    Migration,
+    MigrationPlan,
+    Reorganizer,
+    ReorgPlanner,
+    ReorgPolicy,
+    ReorgRound,
+)
 
 __all__ = [
     "DEFAULT_CLUSTER_PAGES",
     "POLICIES",
+    "AffinitySketch",
     "ClusteringPolicy",
+    "DeviceIdleTracker",
     "ExtentFill",
     "InterObjectClustering",
-    "LayoutProfile",
-    "describe_profile",
-    "profile_layout",
     "IntraObjectClustering",
+    "LayoutProfile",
     "LayoutResult",
+    "LayoutSnapshot",
+    "Migration",
+    "MigrationPlan",
     "Placement",
+    "Reorganizer",
+    "ReorgPlanner",
+    "ReorgPolicy",
+    "ReorgRound",
     "Unclustered",
+    "describe_profile",
     "layout_database",
+    "profile_layout",
+    "restore_layout",
+    "snapshot_layout",
 ]

@@ -43,8 +43,18 @@ class LayoutSnapshot:
 
 
 def snapshot_layout(layout: "LayoutResult") -> LayoutSnapshot:
-    """Capture the post-layout disk image and bookkeeping of ``layout``."""
+    """Capture the post-layout disk image and bookkeeping of ``layout``.
+
+    Dirty buffer frames are flushed first: online reorganization
+    (:mod:`repro.cluster.reorg`) migrates objects through the buffer,
+    so without the flush a snapshot taken after migrations would dump
+    pre-migration page images while the directory already points at the
+    new addresses.  Right after :func:`layout_database` the buffer is
+    clean and the flush writes nothing, so pre-reorg snapshots are
+    byte-for-byte what they always were.
+    """
     store = layout.store
+    store.buffer.flush_all()
     pages, next_free = store.disk.dump_state()
     return LayoutSnapshot(
         pages=pages,

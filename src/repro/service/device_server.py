@@ -293,6 +293,15 @@ class DeviceServer:
         ``scheduler-pop`` spans; :meth:`run_overlapped` hands the
         recorder to its :class:`AsyncIOEngine`, whose ``device-io``
         spans carry exact event-clock stamps.  Strictly observational.
+    reorg_policy:
+        Optional :class:`~repro.cluster.reorg.ReorgPolicy` enabling the
+        online reorganizer.  The server then feeds every resolved
+        reference into the reorganizer's affinity sketch, keyed by the
+        in-flight complex object it was fetched for; rounds run only
+        when the pool is drained (``pending_total() == 0``) so no
+        pooled reference's page-id scheduling key can go stale.  With
+        the default ``None``, no reorganizer exists and every code path
+        is bit-identical to a server built before this feature.
     """
 
     def __init__(
@@ -301,6 +310,7 @@ class DeviceServer:
         starvation_bound: Optional[int] = DEFAULT_STARVATION_BOUND,
         batch_pages: int = 1,
         spans=None,
+        reorg_policy=None,
     ) -> None:
         if starvation_bound is not None and starvation_bound <= 0:
             raise ServiceStateError("starvation_bound must be positive")
@@ -334,6 +344,16 @@ class DeviceServer:
         #: query's operator (failures recorded on their fetch paths
         #: quarantine the device for the whole sweep).
         self.health = DeviceHealthTracker(len(self._queues))
+        if reorg_policy is not None:
+            from repro.cluster.reorg import Reorganizer
+
+            self.reorg: Optional[Reorganizer] = Reorganizer(
+                store,
+                reorg_policy,
+                idle_check=lambda: self.pending_total() == 0,
+            )
+        else:
+            self.reorg = None
 
     @staticmethod
     def _head_fn(disk: MultiDeviceDisk, device: int):
@@ -580,6 +600,11 @@ class DeviceServer:
                         other.waited += 1
                 query.waited = 0
                 query.served += 1
+                if self.reorg is not None:
+                    # One affinity observation per resolved reference,
+                    # grouped by the client request it was fetched for —
+                    # the co-access context recurring queries share.
+                    self.reorg.observe(query_id, ref.oid)
                 query.assembly.resolve_external(ref)
                 self._collect(query)
         finally:
@@ -841,6 +866,8 @@ class DeviceServer:
                     other.waited += 1
             query.waited = 0
             query.served += 1
+            if self.reorg is not None:
+                self.reorg.observe(query_id, ref.oid)
             query.assembly.resolve_external(ref)
             self._collect(query)
 

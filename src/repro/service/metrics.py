@@ -138,6 +138,16 @@ class ServiceMetrics:
     fault_aborts: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: reorganization rounds the online reorganizer executed.
+    reorg_rounds: int = 0
+    #: objects migrated onto new pages across those rounds.
+    reorg_migrations: int = 0
+    #: distinct pages written by migrations (sources + targets).
+    reorg_pages_written: int = 0
+    #: cached assemblies invalidated because a member object moved.
+    reorg_cache_invalidations: int = 0
+    #: cost-model milliseconds the migration batches were priced at.
+    reorg_io_ms: float = 0.0
     #: event-clock milliseconds of the last overlapped run (None until
     #: the service has run under the event-driven engine).
     elapsed_ms: Optional[float] = None
@@ -212,6 +222,10 @@ class ServiceMetrics:
         "fault_aborts",
         "cache_hits",
         "cache_misses",
+        "reorg_rounds",
+        "reorg_migrations",
+        "reorg_pages_written",
+        "reorg_cache_invalidations",
     )
 
     def merge(self, other: "ServiceMetrics") -> "ServiceMetrics":
@@ -227,6 +241,7 @@ class ServiceMetrics:
         """
         for name in self._SUMMED_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.reorg_io_ms += other.reorg_io_ms
         self.latency_hist.merge(other.latency_hist)
         self.queue_wait_hist.merge(other.queue_wait_hist)
         self.run_time_hist.merge(other.run_time_hist)
@@ -297,6 +312,11 @@ class ServiceMetrics:
             "fault_aborts": self.fault_aborts,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "reorg_rounds": self.reorg_rounds,
+            "reorg_migrations": self.reorg_migrations,
+            "reorg_pages_written": self.reorg_pages_written,
+            "reorg_cache_invalidations": self.reorg_cache_invalidations,
+            "reorg_io_ms": self.reorg_io_ms,
             "p50_latency": self.percentile_latency(0.50),
             "p95_latency": self.percentile_latency(0.95),
             "p90_latency": self.latency_hist.p90,

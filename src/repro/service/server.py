@@ -96,6 +96,15 @@ class AssemblyService:
     batch_pages:
         Distinct pages per device-server scheduler batch (see
         :class:`DeviceServer`); 1 keeps the paper's unbatched sweep.
+    reorg_policy:
+        Optional :class:`~repro.cluster.reorg.ReorgPolicy` enabling
+        online reorganization.  The device server feeds the affinity
+        sketch from its resolution stream; whenever :meth:`run` drains
+        the service (the pool-idle window) a migration round may
+        execute, with its activity folded into ``metrics``
+        (``reorg_rounds``, ``reorg_migrations``, ``reorg_io_ms``,
+        ``reorg_cache_invalidations``).  ``None`` (default) leaves the
+        service bit-identical to one built before this feature.
     """
 
     def __init__(
@@ -108,6 +117,7 @@ class AssemblyService:
         min_window: int = 1,
         span_recorder: Optional[SpanRecorder] = None,
         batch_pages: int = 1,
+        reorg_policy=None,
     ) -> None:
         self.store = store
         if budget_pages is None:
@@ -118,6 +128,7 @@ class AssemblyService:
             starvation_bound=starvation_bound,
             batch_pages=batch_pages,
             spans=span_recorder,
+            reorg_policy=reorg_policy,
         )
         if span_recorder is not None:
             span_recorder.bind_clock(lambda: float(self.server.resolutions))
@@ -260,7 +271,13 @@ class AssemblyService:
         return advanced or finished_any
 
     def run(self) -> None:
-        """Step until every submitted request is done."""
+        """Step until every submitted request is done.
+
+        With a ``reorg_policy`` attached, the drained service is the
+        detected idle window: one reorganization round may run here,
+        after the last request completed and before control returns to
+        the client.  Without a policy this is exactly the old loop.
+        """
         while self.step():
             pass
         stuck = [
@@ -273,6 +290,48 @@ class AssemblyService:
             raise ServiceStateError(
                 f"service idle with unfinished requests {stuck}"
             )
+        reorg = self.server.reorg
+        if reorg is not None and reorg.policy.auto:
+            self._run_reorg_round()
+
+    def reorganize(self, force: bool = True):
+        """Run one reorganization round now; returns its report.
+
+        Raises :class:`ServiceStateError` when the service was built
+        without a ``reorg_policy``.  ``force`` (default) runs the round
+        even below the policy's observation threshold — the operator
+        asked for it explicitly.
+        """
+        if self.server.reorg is None:
+            raise ServiceStateError(
+                "reorganize() needs a service built with reorg_policy="
+            )
+        return self._run_reorg_round(force=force)
+
+    def _run_reorg_round(self, force: bool = False):
+        """Execute one round and fold its activity into the metrics.
+
+        Cache invalidations are measured as the invalidation-counter
+        delta across the round: migrations notify the store's write
+        hooks, which is the same per-OID invalidation path ordinary
+        writes take, so the delta is exactly the assemblies dropped
+        because a member moved.
+        """
+        reorg = self.server.reorg
+        assert reorg is not None
+        invalidations_before = (
+            self.cache.stats.invalidations if self.cache is not None else 0
+        )
+        report = reorg.run_round(force=force)
+        self.metrics.reorg_rounds = reorg.rounds
+        self.metrics.reorg_migrations += report.migrations
+        self.metrics.reorg_pages_written += report.pages_touched
+        self.metrics.reorg_io_ms += report.priced_ms
+        if self.cache is not None:
+            self.metrics.reorg_cache_invalidations += (
+                self.cache.stats.invalidations - invalidations_before
+            )
+        return report
 
     def _collect(self, request: _Request) -> None:
         if request.query is None:

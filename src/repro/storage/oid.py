@@ -110,7 +110,8 @@ class OidDirectory:
         """Record the physical address of ``oid``.
 
         Raises :class:`DuplicateOidError` if the OID is already mapped;
-        OIDs are immutable identities and never move in this system.
+        OIDs are immutable identities — an object that physically moves
+        goes through :meth:`relocate`, never a re-registration.
         """
         if oid.is_null():
             raise UnknownOidError("cannot register the null OID")
@@ -127,6 +128,20 @@ class OidDirectory:
             return self._entries[oid]
         except KeyError:
             raise UnknownOidError(f"{oid} is not registered") from None
+
+    def relocate(self, oid: Oid, rid: Rid) -> Rid:
+        """Point an *existing* OID at a new physical address.
+
+        Online reorganization (:mod:`repro.cluster.reorg`) is the one
+        sanctioned way an object moves: its logical identity is
+        untouched, only the directory's physical mapping changes, which
+        is exactly the indirection footnote 1 postulates.  Returns the
+        previous address; raises :class:`UnknownOidError` when the OID
+        was never registered (relocation cannot create objects).
+        """
+        previous = self.lookup(oid)
+        self._entries[oid] = rid
+        return previous
 
     def get(self, oid: Oid) -> Optional[Rid]:
         """Like :meth:`lookup` but returns ``None`` when unmapped."""

@@ -285,6 +285,42 @@ class ObjectStore:
         )
         self._notify_write(oid)
 
+    # -- reorganization (measured phase) -----------------------------------------
+
+    def migrate(self, oid: Oid, target_page_id: int) -> Rid:
+        """Move one object onto ``target_page_id``; returns the new RID.
+
+        The online-reorganization primitive: the stored bytes are read
+        from the source slot, inserted on the target page, the source
+        slot is tombstoned, and the directory relocates the OID — all
+        through the buffer, so concurrent readers never see a stale
+        copy.  Ordering is the transactional part: the target insert
+        happens *before* the source delete, so a full target page
+        (:class:`PageFullError`) aborts the move with the object still
+        intact at its old address.
+
+        The decoded-record cache entry travels to the new RID (the
+        bytes are unchanged), and the write hooks fire once — which is
+        what evicts every cached assembled object containing ``oid``
+        from the service's result cache.
+        """
+        source = self.directory.lookup(oid)
+        if source.page_id == target_page_id:
+            return source
+        with self.buffer.fixed(source.page_id) as page:
+            stored = page.read(source.slot)
+        with self.buffer.fixed(target_page_id, dirty=True) as page:
+            slot = page.insert(stored)
+        with self.buffer.fixed(source.page_id, dirty=True) as page:
+            page.delete(source.slot)
+        target = Rid(target_page_id, slot)
+        self.directory.relocate(oid, target)
+        entry = self._decoded.pop(source, None)
+        if entry is not None:
+            self._decoded[target] = entry
+        self._notify_write(oid)
+        return target
+
     # -- scanning -------------------------------------------------------------------------
 
     def scan_extent(self, extent: Extent) -> Iterator[Tuple[Oid, ObjectRecord]]:
