@@ -46,6 +46,7 @@ from repro.bench.service import (
     figure_service_cache,
     figure_service_scaling,
 )
+from repro.bench.volcano import figure_volcano
 
 __all__ = [
     "ALL_FIGURES",
@@ -78,6 +79,7 @@ __all__ = [
     "figure_service_scaling",
     "figure_to_csv",
     "figure_to_dict",
+    "figure_volcano",
     "get_database",
     "load_json",
     "render",

@@ -1016,6 +1016,13 @@ def _register_perf() -> None:
     ALL_FIGURES["perf"] = figure_perf
 
 
+def _register_volcano() -> None:
+    # Imported here to keep module load cheap and avoid cycles.
+    from repro.bench.volcano import figure_volcano
+
+    ALL_FIGURES["volcano"] = figure_volcano
+
+
 _register_baselines()
 _register_service()
 _register_batch()
@@ -1024,6 +1031,7 @@ _register_robustness()
 _register_fabric()
 _register_reorg()
 _register_perf()
+_register_volcano()
 
 #: One-line summaries for ``python -m repro.bench --list``.
 DESCRIPTIONS = {
@@ -1051,4 +1059,5 @@ DESCRIPTIONS = {
     "fabric": "sharded fabric figures F-1..F-3 (load, hedging, shedding)",
     "reorg": "online reorganization figures G-1..G-3 (shifting hot set)",
     "perf": "raw simulator throughput P-1 (wall clock; perf_floor gate)",
+    "volcano": "composable assembly figures V-1..V-3 (plans, pushdown, exchange)",
 }

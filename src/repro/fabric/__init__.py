@@ -15,6 +15,12 @@ from repro.fabric.arrivals import (
     PoissonArrivals,
 )
 from repro.fabric.builder import build_sharded_fabric, open_loop_workload
+from repro.fabric.parallel import (
+    ShardPartition,
+    build_replica_partitions,
+    build_shard_partitions,
+    partition_fn_for,
+)
 from repro.fabric.fabric import (
     FabricReport,
     FabricRequest,
@@ -39,8 +45,12 @@ __all__ = [
     "RequestSpec",
     "ServiceFabric",
     "Shard",
+    "ShardPartition",
     "ShardReplica",
     "SheddingPolicy",
+    "build_replica_partitions",
+    "build_shard_partitions",
     "build_sharded_fabric",
     "open_loop_workload",
+    "partition_fn_for",
 ]

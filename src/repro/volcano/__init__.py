@@ -5,6 +5,11 @@ physical-algebra layer the assembly operator plugs into.
 """
 
 from repro.volcano.aggregate import HashAggregate, count_aggregate, sum_aggregate
+from repro.volcano.assembly import (
+    AssemblyOperator,
+    ComponentFilter,
+    ParallelAssembly,
+)
 from repro.volcano.exchange import Partition, PartitionedExecute
 from repro.volcano.filters import Distinct, Filter, Limit, Project
 from repro.volcano.iterator import (
@@ -21,8 +26,14 @@ from repro.volcano.joins import (
 )
 from repro.volcano.mergejoin import MergeJoin
 from repro.volcano.plan import (
+    AssemblyJoinChoice,
+    AssemblyJoinPlan,
+    PushdownDecision,
     collect_operators,
     explain,
+    plan_assembly_join,
+    push_down_component_filters,
+    replace_child,
     validate_plan,
     walk_plan,
 )
@@ -30,6 +41,10 @@ from repro.volcano.scan import FileScan, IndexScan, StoreScan, TidScan
 from repro.volcano.sort import ExternalSort
 
 __all__ = [
+    "AssemblyJoinChoice",
+    "AssemblyJoinPlan",
+    "AssemblyOperator",
+    "ComponentFilter",
     "Distinct",
     "ExternalSort",
     "FileScan",
@@ -43,10 +58,12 @@ __all__ = [
     "MergeJoin",
     "NestedLoopsJoin",
     "OneToOneMatch",
+    "ParallelAssembly",
     "Partition",
     "PartitionedExecute",
     "PointerJoin",
     "Project",
+    "PushdownDecision",
     "Row",
     "StoreScan",
     "TidScan",
@@ -54,6 +71,9 @@ __all__ = [
     "collect_operators",
     "count_aggregate",
     "explain",
+    "plan_assembly_join",
+    "push_down_component_filters",
+    "replace_child",
     "sum_aggregate",
     "validate_plan",
     "walk_plan",

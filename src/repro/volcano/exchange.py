@@ -18,10 +18,39 @@ elevator queues break the exclusive-device assumption (Section 7).
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, List, Optional
 
 from repro.errors import PlanError
 from repro.volcano.iterator import ListSource, Row, VolcanoIterator
+
+
+def _fragment_wants_index(fragment: Callable) -> bool:
+    """Does ``fragment`` accept a second positional (partition index)?
+
+    Lets shard-local fragments bind partition-specific state — the
+    store replica or fabric shard the fragment should read from —
+    while single-argument fragments keep working unchanged.
+    """
+    try:
+        signature = inspect.signature(fragment)
+    except (TypeError, ValueError):  # builtins without introspection
+        return False
+    positional = [
+        parameter
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    if any(
+        parameter.kind is inspect.Parameter.VAR_POSITIONAL
+        for parameter in signature.parameters.values()
+    ):
+        return True
+    return len(positional) >= 2
 
 
 class Partition(VolcanoIterator):
@@ -70,7 +99,10 @@ class PartitionedExecute(VolcanoIterator):
     """Run a plan fragment per round-robin partition; merge demand-driven.
 
     ``fragment(source)`` builds the per-partition plan over a
-    :class:`ListSource` of that partition's rows.  Partitions execute
+    :class:`ListSource` of that partition's rows.  A fragment taking a
+    second positional argument is called as ``fragment(source, index)``
+    with the partition number — how shard-local fragments pick their
+    own store (see :mod:`repro.fabric.parallel`).  Partitions execute
     serially but their outputs interleave round-robin, which is how
     exchange's merge side appears to its consumer.
     """
@@ -87,6 +119,7 @@ class PartitionedExecute(VolcanoIterator):
         self._input_rows = list(rows)
         self._n = n_partitions
         self._fragment = fragment
+        self._fragment_indexed = _fragment_wants_index(fragment)
         self._plans: List[VolcanoIterator] = []
         self._alive: List[bool] = []
         self._turn = 0
@@ -95,9 +128,15 @@ class PartitionedExecute(VolcanoIterator):
         partitions: List[List[Row]] = [[] for _ in range(self._n)]
         for position, row in enumerate(self._input_rows):
             partitions[position % self._n].append(row)
-        self._plans = [
-            self._fragment(ListSource(part)) for part in partitions
-        ]
+        if self._fragment_indexed:
+            self._plans = [
+                self._fragment(ListSource(part), index)
+                for index, part in enumerate(partitions)
+            ]
+        else:
+            self._plans = [
+                self._fragment(ListSource(part)) for part in partitions
+            ]
         for plan in self._plans:
             plan.open()
         self._alive = [True] * self._n

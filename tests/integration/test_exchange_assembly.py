@@ -75,3 +75,43 @@ def test_partitioned_assembly_shares_nothing_across_fragments():
     # Shared components referenced from several partitions load once
     # per partition instead of once overall.
     assert partitioned >= single
+
+
+def test_indexed_fragments_bind_partition_local_replicas():
+    """``fragment(source, index)`` gives each partition its own store.
+
+    The exchange operator passes the partition number to fragments that
+    accept it, so shard-local plans can read from their own replica —
+    no shared disk, every replica actually serving pages."""
+    from repro.fabric.parallel import build_replica_partitions
+    from repro.volcano.assembly import AssemblyOperator
+
+    db = generate_acob(24, seed=21)
+    disk = SimulatedDisk()
+    store = ObjectStore(disk)
+    layout = layout_database(
+        db.complex_objects,
+        store,
+        InterObjectClustering(cluster_pages=32),
+        shared=db.shared_pool,
+    )
+    replicas = build_replica_partitions(layout, 3, costed=False)
+
+    seen_indexes = []
+
+    def fragment(source, index):
+        seen_indexes.append(index)
+        return AssemblyOperator(
+            source, replicas[index].store, make_template(db), window_size=2
+        )
+
+    plan = PartitionedExecute(
+        rows=layout.root_order, n_partitions=3, fragment=fragment
+    )
+    emitted = plan.execute()
+    assert len(emitted) == 24
+    assert seen_indexes == [0, 1, 2]
+    assert {c.root_oid for c in emitted} == set(layout.root_order)
+    for replica in replicas:
+        assert replica.store.disk.stats.reads > 0
+    assert store.disk.stats.reads == 0  # the original store was not touched

@@ -20,22 +20,125 @@ from repro.volcano.joins import (
     PointerJoin,
 )
 from repro.volcano.mergejoin import MergeJoin
+from repro.volcano.scan import FileScan, IndexScan, StoreScan, TidScan
 from repro.volcano.sort import ExternalSort
 
 
-def assembly_factory():
+def _laid_out_store():
     from repro.cluster.layout import layout_database
     from repro.cluster.policies import Unclustered
-    from repro.core.assembly import Assembly
     from repro.storage.disk import SimulatedDisk
     from repro.storage.store import ObjectStore
-    from repro.workloads.acob import generate_acob, make_template
+    from repro.workloads.acob import generate_acob
 
     db = generate_acob(5, seed=1)
     store = ObjectStore(SimulatedDisk())
     layout = layout_database(db.complex_objects, store, Unclustered())
+    return db, store, layout
+
+
+def assembly_factory():
+    from repro.core.assembly import Assembly
+    from repro.workloads.acob import make_template
+
+    db, store, layout = _laid_out_store()
     return Assembly(
         ListSource(layout.root_order), store, make_template(db), window_size=2
+    )
+
+
+def assembly_operator_factory():
+    from repro.volcano.assembly import AssemblyOperator
+    from repro.workloads.acob import make_template
+
+    db, store, layout = _laid_out_store()
+    return AssemblyOperator(
+        ListSource(layout.root_order), store, make_template(db), window_size=2
+    )
+
+
+def component_filter_factory():
+    from repro.volcano.assembly import ComponentFilter
+    from repro.workloads.acob import generate_acob, make_template, payload_predicate
+
+    template = make_template(generate_acob(5, seed=1))
+    label = template.nodes()[1].label
+    return ComponentFilter(
+        assembly_operator_factory(), label, payload_predicate(1.0)
+    )
+
+
+def parallel_assembly_factory():
+    from repro.volcano.assembly import ParallelAssembly
+    from repro.workloads.acob import make_template
+
+    db, store_a, layout = _laid_out_store()
+    _db, store_b, _layout = _laid_out_store()  # deterministic replica
+    return ParallelAssembly(
+        ListSource(layout.root_order),
+        [store_a, store_b],
+        make_template(db),
+        window_size=2,
+    )
+
+
+def _record_store():
+    """A store with four one-page records, for scan-family factories."""
+    from repro.storage.disk import SimulatedDisk
+    from repro.storage.oid import Oid
+    from repro.storage.record import ObjectRecord
+    from repro.storage.store import ObjectStore
+
+    store = ObjectStore(SimulatedDisk())
+    extent = store.disk.allocate(1)
+    oids = []
+    for serial in range(4):
+        oid = Oid(1, serial + 1)
+        store.store_at(oid, ObjectRecord(ints=[serial, 0, 0, 0]), extent.start)
+        oids.append(oid)
+    return store, extent, oids
+
+
+def file_scan_factory():
+    from repro.storage.buffer import BufferManager
+    from repro.storage.disk import SimulatedDisk
+    from repro.storage.heap import HeapFile
+
+    disk = SimulatedDisk()
+    heap = HeapFile(disk, BufferManager(disk))
+    for payload in (b"a", b"b", b"c"):
+        heap.append(payload)
+    return FileScan(heap)
+
+
+def index_scan_factory():
+    from repro.storage.btree import BTree
+    from repro.storage.buffer import BufferManager
+    from repro.storage.disk import SimulatedDisk
+
+    disk = SimulatedDisk()
+    tree = BTree(disk, BufferManager(disk), max_leaf_keys=4, max_internal_keys=4)
+    for key in range(8):
+        tree.insert(key, key.to_bytes(10, "big"))
+    return IndexScan(tree, low=1, high=6)
+
+
+def store_scan_factory():
+    store, extent, _oids = _record_store()
+    return StoreScan(store, extent)
+
+
+def tid_scan_factory():
+    store, _extent, oids = _record_store()
+    return TidScan(ListSource(oids), store, order="sorted")
+
+
+def pointer_join_factory():
+    store, _extent, oids = _record_store()
+    return PointerJoin(
+        ListSource([("row", oid) for oid in oids]),
+        store,
+        extract=lambda row: row[1],
     )
 
 
@@ -77,6 +180,14 @@ OPERATOR_FACTORIES = {
         fragment=lambda source: Project(source, lambda n: n),
     ),
     "assembly": assembly_factory,
+    "assembly-operator": assembly_operator_factory,
+    "component-filter": component_filter_factory,
+    "parallel-assembly": parallel_assembly_factory,
+    "file-scan": file_scan_factory,
+    "index-scan": index_scan_factory,
+    "store-scan": store_scan_factory,
+    "tid-scan": tid_scan_factory,
+    "pointer-join": pointer_join_factory,
 }
 
 
@@ -125,6 +236,20 @@ class TestLifecycleConformance:
         first = [self._key(row) for row in operator.execute()]
         second = [self._key(row) for row in operator.execute()]
         assert sorted(first, key=repr) == sorted(second, key=repr)
+
+    def test_next_after_close_rejected(self, operator_factory):
+        operator = operator_factory()
+        operator.open()
+        operator.close()
+        with pytest.raises(IteratorStateError):
+            operator.next()
+
+    def test_double_close_rejected(self, operator_factory):
+        operator = operator_factory()
+        operator.open()
+        operator.close()
+        with pytest.raises(IteratorStateError):
+            operator.close()
 
     def test_early_close_is_legal(self, operator_factory):
         operator = operator_factory()
